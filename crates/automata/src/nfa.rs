@@ -1,0 +1,305 @@
+//! Nondeterministic 6-tuple sequential automata.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::types::{Behavior, Output, StateId, Symbol};
+
+/// A nondeterministic sequential automaton `(Q, Σ, δ, q0, Γ, γ)`.
+///
+/// Every state carries an output (the map γ); the behaviour of the
+/// automaton on a word is the set of outputs of all states reached
+/// (paper, Section 2.2.2). There are no ε-transitions — the Mahjong
+/// pipeline never produces them (Section 4.3).
+///
+/// # Examples
+///
+/// ```
+/// use automata::{NfaBuilder, Output, Symbol, Behavior};
+///
+/// let mut b = NfaBuilder::new();
+/// let q0 = b.add_state(Output(0));
+/// let q1 = b.add_state(Output(1));
+/// let q2 = b.add_state(Output(1));
+/// b.add_transition(q0, Symbol(7), q1);
+/// b.add_transition(q0, Symbol(7), q2);
+/// let nfa = b.finish(q0);
+/// assert_eq!(nfa.behavior(&[Symbol(7)]), Behavior::Outputs(vec![Output(1)]));
+/// assert_eq!(nfa.behavior(&[Symbol(9)]), Behavior::Reject);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    start: StateId,
+    /// Per state, transitions sorted by symbol; successor lists are sorted
+    /// and deduplicated.
+    transitions: Vec<Vec<(Symbol, Vec<StateId>)>>,
+    outputs: Vec<Output>,
+}
+
+impl Nfa {
+    /// Returns the initial state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Returns the number of states.
+    pub fn state_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Returns the output γ(q) of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn output(&self, q: StateId) -> Output {
+        self.outputs[q.index()]
+    }
+
+    /// Returns the successors of `q` on `symbol` (empty if none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn successors(&self, q: StateId, symbol: Symbol) -> &[StateId] {
+        match self.transitions[q.index()].binary_search_by_key(&symbol, |&(s, _)| s) {
+            Ok(i) => &self.transitions[q.index()][i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Returns the symbols with at least one outgoing transition from `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn symbols_of(&self, q: StateId) -> impl Iterator<Item = Symbol> + '_ {
+        self.transitions[q.index()].iter().map(|&(s, _)| s)
+    }
+
+    /// Returns the automaton's alphabet Σ (all symbols on any edge).
+    pub fn alphabet(&self) -> Vec<Symbol> {
+        let mut set = BTreeSet::new();
+        for row in &self.transitions {
+            for &(s, _) in row {
+                set.insert(s);
+            }
+        }
+        set.into_iter().collect()
+    }
+
+    /// Computes the behaviour β(word): the outputs of all states reached
+    /// from the start state after reading `word`.
+    pub fn behavior(&self, word: &[Symbol]) -> Behavior {
+        let mut current = vec![self.start];
+        for &sym in word {
+            let mut next = BTreeSet::new();
+            for &q in &current {
+                next.extend(self.successors(q, sym).iter().copied());
+            }
+            current = next.into_iter().collect();
+            if current.is_empty() {
+                return Behavior::Reject;
+            }
+        }
+        Behavior::from_outputs(current.iter().map(|&q| self.output(q)).collect())
+    }
+
+    /// Converts to an equivalent DFA by subset construction
+    /// (paper Algorithm 3).
+    ///
+    /// Each DFA state is a set of NFA states; its output set is the set
+    /// of their outputs. Like the paper's specialization, the successor
+    /// symbols of a DFA state are the union of the member states' symbols
+    /// (the paper iterates one member's fields, which is valid only under
+    /// SINGLETYPE-CHECK; using the union is always correct and costs the
+    /// same for single-type states).
+    pub fn to_dfa(&self) -> crate::dfa::Dfa {
+        let mut builder = crate::dfa::DfaPartsBuilder::default();
+        let mut index_of: HashMap<Vec<StateId>, StateId> = HashMap::new();
+        let start_set = vec![self.start];
+        let start = builder.add_state(self.output_set(&start_set));
+        index_of.insert(start_set.clone(), start);
+        let mut worklist = vec![(start, start_set)];
+
+        while let Some((dq, set)) = worklist.pop() {
+            // Union of outgoing symbols over all members.
+            let mut symbols = BTreeSet::new();
+            for &q in &set {
+                symbols.extend(self.symbols_of(q));
+            }
+            for sym in symbols {
+                let mut next = BTreeSet::new();
+                for &q in &set {
+                    next.extend(self.successors(q, sym).iter().copied());
+                }
+                let next: Vec<StateId> = next.into_iter().collect();
+                let target = match index_of.get(&next) {
+                    Some(&t) => t,
+                    None => {
+                        let t = builder.add_state(self.output_set(&next));
+                        index_of.insert(next.clone(), t);
+                        worklist.push((t, next));
+                        t
+                    }
+                };
+                builder.add_transition(dq, sym, target);
+            }
+        }
+        builder.finish(start)
+    }
+
+    fn output_set(&self, states: &[StateId]) -> Vec<Output> {
+        let mut outs: Vec<Output> = states.iter().map(|&q| self.output(q)).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        outs
+    }
+}
+
+/// Incrementally builds an [`Nfa`].
+#[derive(Clone, Debug, Default)]
+pub struct NfaBuilder {
+    transitions: Vec<Vec<(Symbol, Vec<StateId>)>>,
+    outputs: Vec<Output>,
+}
+
+impl NfaBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a state with the given output and returns its id.
+    pub fn add_state(&mut self, output: Output) -> StateId {
+        let id = StateId(u32::try_from(self.outputs.len()).expect("too many states"));
+        self.outputs.push(output);
+        self.transitions.push(Vec::new());
+        id
+    }
+
+    /// Adds a transition `from --symbol--> to`. Duplicate transitions are
+    /// merged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either state is out of bounds.
+    pub fn add_transition(&mut self, from: StateId, symbol: Symbol, to: StateId) {
+        assert!(to.index() < self.outputs.len(), "target state out of bounds");
+        let row = &mut self.transitions[from.index()];
+        match row.binary_search_by_key(&symbol, |&(s, _)| s) {
+            Ok(i) => {
+                let succs = &mut row[i].1;
+                if let Err(pos) = succs.binary_search(&to) {
+                    succs.insert(pos, to);
+                }
+            }
+            Err(i) => row.insert(i, (symbol, vec![to])),
+        }
+    }
+
+    /// Finalizes the automaton with the given start state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of bounds.
+    pub fn finish(self, start: StateId) -> Nfa {
+        assert!(start.index() < self.outputs.len(), "start state out of bounds");
+        Nfa {
+            start,
+            transitions: self.transitions,
+            outputs: self.outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Nfa {
+        // q0 -a-> {q1, q2}; q1 -b-> q3; q2 -b-> q3
+        let mut b = NfaBuilder::new();
+        let q0 = b.add_state(Output(0));
+        let q1 = b.add_state(Output(1));
+        let q2 = b.add_state(Output(2));
+        let q3 = b.add_state(Output(3));
+        b.add_transition(q0, Symbol(0), q1);
+        b.add_transition(q0, Symbol(0), q2);
+        b.add_transition(q1, Symbol(1), q3);
+        b.add_transition(q2, Symbol(1), q3);
+        b.finish(q0)
+    }
+
+    #[test]
+    fn behavior_on_empty_word_is_start_output() {
+        let nfa = diamond();
+        assert_eq!(nfa.behavior(&[]), Behavior::Outputs(vec![Output(0)]));
+    }
+
+    #[test]
+    fn behavior_unions_outputs() {
+        let nfa = diamond();
+        assert_eq!(
+            nfa.behavior(&[Symbol(0)]),
+            Behavior::Outputs(vec![Output(1), Output(2)])
+        );
+        assert_eq!(
+            nfa.behavior(&[Symbol(0), Symbol(1)]),
+            Behavior::Outputs(vec![Output(3)])
+        );
+    }
+
+    #[test]
+    fn behavior_rejects_unknown_symbol() {
+        let nfa = diamond();
+        assert_eq!(nfa.behavior(&[Symbol(9)]), Behavior::Reject);
+        assert_eq!(nfa.behavior(&[Symbol(0), Symbol(9)]), Behavior::Reject);
+    }
+
+    #[test]
+    fn duplicate_transitions_merge() {
+        let mut b = NfaBuilder::new();
+        let q0 = b.add_state(Output(0));
+        let q1 = b.add_state(Output(1));
+        b.add_transition(q0, Symbol(0), q1);
+        b.add_transition(q0, Symbol(0), q1);
+        let nfa = b.finish(q0);
+        assert_eq!(nfa.successors(q0, Symbol(0)), &[q1]);
+    }
+
+    #[test]
+    fn alphabet_collects_all_symbols() {
+        let nfa = diamond();
+        assert_eq!(nfa.alphabet(), vec![Symbol(0), Symbol(1)]);
+    }
+
+    #[test]
+    fn dfa_conversion_merges_nondeterminism() {
+        let nfa = diamond();
+        let dfa = nfa.to_dfa();
+        // {q0} -a-> {q1,q2} -b-> {q3}: three states.
+        assert_eq!(dfa.state_count(), 3);
+        assert_eq!(
+            dfa.behavior(&[Symbol(0)]),
+            Behavior::Outputs(vec![Output(1), Output(2)])
+        );
+        assert_eq!(dfa.behavior(&[Symbol(9)]), Behavior::Reject);
+    }
+
+    #[test]
+    fn cyclic_nfa_to_dfa_terminates() {
+        let mut b = NfaBuilder::new();
+        let q0 = b.add_state(Output(0));
+        let q1 = b.add_state(Output(1));
+        b.add_transition(q0, Symbol(0), q1);
+        b.add_transition(q1, Symbol(0), q0);
+        b.add_transition(q1, Symbol(0), q1); // nondeterministic self loop
+        let nfa = b.finish(q0);
+        let dfa = nfa.to_dfa();
+        assert!(dfa.state_count() <= 4);
+        assert_eq!(
+            nfa.behavior(&[Symbol(0), Symbol(0), Symbol(0)]),
+            dfa.behavior(&[Symbol(0), Symbol(0), Symbol(0)])
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Core value types shared by the NFA and DFA representations.
+
+/// An input symbol (in the Mahjong pipeline: an interned field name).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl std::fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An output symbol (in the Mahjong pipeline: an interned type).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Output(pub u32);
+
+impl std::fmt::Debug for Output {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "out#{}", self.0)
+    }
+}
+
+/// A state index within one automaton.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// Returns the state index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for StateId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The behaviour value of a sequential automaton on one input word:
+/// the set of outputs of the states reached (paper Section 2.2.2, the
+/// function β).
+///
+/// `Reject` is produced when the word leaves the automaton (no
+/// transition); it corresponds to reaching the implicit error sink
+/// `q_error` of Algorithm 4.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Behavior {
+    /// The word left the automaton; γ(q_error).
+    Reject,
+    /// The sorted, deduplicated set of outputs of all reached states.
+    Outputs(Vec<Output>),
+}
+
+impl Behavior {
+    /// Builds a behaviour from an unsorted list of outputs.
+    ///
+    /// An empty list means no state was reached, i.e. [`Behavior::Reject`].
+    pub fn from_outputs(mut outputs: Vec<Output>) -> Self {
+        if outputs.is_empty() {
+            return Behavior::Reject;
+        }
+        outputs.sort_unstable();
+        outputs.dedup();
+        Behavior::Outputs(outputs)
+    }
+
+    /// Returns `true` if exactly one output is produced (the paper's
+    /// Condition 2 on one word).
+    pub fn is_single(&self) -> bool {
+        matches!(self, Behavior::Outputs(v) if v.len() == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behavior_dedups_and_sorts() {
+        let b = Behavior::from_outputs(vec![Output(3), Output(1), Output(3)]);
+        assert_eq!(b, Behavior::Outputs(vec![Output(1), Output(3)]));
+        assert!(!b.is_single());
+    }
+
+    #[test]
+    fn empty_outputs_reject() {
+        assert_eq!(Behavior::from_outputs(vec![]), Behavior::Reject);
+        assert!(!Behavior::Reject.is_single());
+    }
+
+    #[test]
+    fn single_output_is_single() {
+        assert!(Behavior::from_outputs(vec![Output(5)]).is_single());
+    }
+}

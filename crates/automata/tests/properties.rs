@@ -1,0 +1,151 @@
+//! Property-based tests for the automata substrate: subset construction
+//! preserves behaviour, equivalence is behavioural, and minimization is
+//! both behaviour-preserving and minimal.
+
+use automata::{Behavior, Dfa, Nfa, NfaBuilder, Output, Symbol};
+use proptest::prelude::*;
+
+/// A random NFA with `n` states, `t` outputs, `s` symbols, and up to
+/// `e` transitions.
+fn arb_nfa(n: usize, t: u32, s: u32, e: usize) -> impl Strategy<Value = Nfa> {
+    let outputs = prop::collection::vec(0..t, n);
+    let transitions = prop::collection::vec((0..n, 0..s, 0..n), 0..e);
+    (outputs, transitions).prop_map(|(outputs, transitions)| {
+        let mut b = NfaBuilder::new();
+        let states: Vec<_> = outputs.into_iter().map(|o| b.add_state(Output(o))).collect();
+        for (from, sym, to) in transitions {
+            b.add_transition(states[from], Symbol(sym), states[to]);
+        }
+        b.finish(states[0])
+    })
+}
+
+/// A random word over `s` symbols.
+fn arb_word(s: u32, max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
+    prop::collection::vec((0..s).prop_map(Symbol), 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// β_NFA(w) = β_DFA(w) for every word (the correctness statement of
+    /// Algorithm 3's subset construction).
+    #[test]
+    fn subset_construction_preserves_behavior(
+        nfa in arb_nfa(6, 3, 3, 18),
+        words in prop::collection::vec(arb_word(3, 8), 1..16),
+    ) {
+        let dfa = nfa.to_dfa();
+        for w in words {
+            prop_assert_eq!(nfa.behavior(&w), dfa.behavior(&w), "word {:?}", w);
+        }
+    }
+
+    /// If two DFAs are reported equivalent, no word distinguishes them;
+    /// if reported inequivalent, some short word must (bounded search —
+    /// on automata this small a distinguishing word of length ≤ |Q1|+|Q2|
+    /// exists by the Hopcroft–Karp invariant).
+    #[test]
+    fn equivalence_is_behavioral(
+        a in arb_nfa(5, 2, 2, 12),
+        b in arb_nfa(5, 2, 2, 12),
+    ) {
+        let da = a.to_dfa();
+        let db = b.to_dfa();
+        let eq = da.equivalent(&db);
+        let found_diff = exhaustive_difference(&da, &db, da.state_count() + db.state_count() + 1);
+        prop_assert_eq!(eq, found_diff.is_none(),
+            "equivalent={} but distinguishing word = {:?}", eq, found_diff);
+    }
+
+    /// Minimization preserves behaviour and never grows the automaton.
+    #[test]
+    fn minimize_preserves_behavior_and_shrinks(
+        nfa in arb_nfa(6, 3, 2, 18),
+        words in prop::collection::vec(arb_word(2, 10), 1..16),
+    ) {
+        let dfa = nfa.to_dfa();
+        let min = dfa.minimize();
+        prop_assert!(min.state_count() <= dfa.state_count());
+        for w in words {
+            prop_assert_eq!(dfa.behavior(&w), min.behavior(&w), "word {:?}", w);
+        }
+        prop_assert!(dfa.equivalent(&min));
+    }
+
+    /// Minimizing twice is a fixed point in size.
+    #[test]
+    fn minimize_is_idempotent_in_size(nfa in arb_nfa(6, 2, 2, 15)) {
+        let m1 = nfa.to_dfa().minimize();
+        let m2 = m1.minimize();
+        prop_assert_eq!(m1.state_count(), m2.state_count());
+    }
+
+    /// Equivalence is reflexive and symmetric on random automata.
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric(
+        a in arb_nfa(5, 3, 2, 14),
+        b in arb_nfa(5, 3, 2, 14),
+    ) {
+        let da = a.to_dfa();
+        let db = b.to_dfa();
+        prop_assert!(da.equivalent(&da));
+        prop_assert_eq!(da.equivalent(&db), db.equivalent(&da));
+    }
+}
+
+/// Breadth-first search for a word on which the two DFAs differ, up to
+/// the given length. Returns the word if found.
+fn exhaustive_difference(a: &Dfa, b: &Dfa, max_len: usize) -> Option<Vec<Symbol>> {
+    let mut alphabet = a.alphabet();
+    alphabet.extend(b.alphabet());
+    alphabet.sort_unstable();
+    alphabet.dedup();
+
+    // BFS over pairs of (state-or-error), tracking the word.
+    use std::collections::{HashSet, VecDeque};
+    #[derive(Clone, Copy, PartialEq, Eq, Hash)]
+    enum S {
+        In(automata::StateId),
+        Error,
+    }
+    let out_a = |s: S| match s {
+        S::In(q) => Behavior::Outputs(a.output_set(q).to_vec()),
+        S::Error => Behavior::Reject,
+    };
+    let out_b = |s: S| match s {
+        S::In(q) => Behavior::Outputs(b.output_set(q).to_vec()),
+        S::Error => Behavior::Reject,
+    };
+    let step_a = |s: S, sym: Symbol| match s {
+        S::In(q) => a.successor(q, sym).map_or(S::Error, S::In),
+        S::Error => S::Error,
+    };
+    let step_b = |s: S, sym: Symbol| match s {
+        S::In(q) => b.successor(q, sym).map_or(S::Error, S::In),
+        S::Error => S::Error,
+    };
+
+    let start = (S::In(a.start()), S::In(b.start()));
+    let mut seen: HashSet<(S, S)> = HashSet::new();
+    seen.insert(start);
+    let mut queue: VecDeque<((S, S), Vec<Symbol>)> = VecDeque::new();
+    queue.push_back((start, Vec::new()));
+    while let Some(((sa, sb), word)) = queue.pop_front() {
+        if out_a(sa) != out_b(sb) {
+            return Some(word);
+        }
+        if word.len() >= max_len {
+            continue;
+        }
+        for &sym in &alphabet {
+            let next = (step_a(sa, sym), step_b(sb, sym));
+            if seen.insert(next) {
+                let mut w = word.clone();
+                w.push(sym);
+                queue.push_back((next, w));
+            }
+        }
+    }
+    None
+}

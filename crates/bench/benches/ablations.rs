@@ -1,0 +1,55 @@
+//! Criterion bench for the design-choice ablations DESIGN.md calls
+//! out: Condition 2 on/off, null modeling on/off, sequential vs
+//! parallel type-consistency checking, representative choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mahjong::{MahjongConfig, Representative};
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let w = workloads::dacapo::workload("pmd", 2);
+    let pre = pta::pre_analysis(&w.program).expect("fits budget");
+    let fpg = mahjong::FieldPointsToGraph::from_analysis(&w.program, &pre, true);
+
+    let configs: Vec<(&str, MahjongConfig)> = vec![
+        ("default", MahjongConfig::default()),
+        (
+            "no-condition2",
+            MahjongConfig {
+                enforce_condition2: false,
+                ..MahjongConfig::default()
+            },
+        ),
+        (
+            "parallel-4",
+            MahjongConfig {
+                threads: 4,
+                ..MahjongConfig::default()
+            },
+        ),
+        (
+            "parallel-8",
+            MahjongConfig {
+                threads: 8,
+                ..MahjongConfig::default()
+            },
+        ),
+        (
+            "repr-largest",
+            MahjongConfig {
+                representative: Representative::Largest,
+                ..MahjongConfig::default()
+            },
+        ),
+    ];
+    for (label, config) in configs {
+        group.bench_with_input(BenchmarkId::new("merge", label), &config, |b, config| {
+            b.iter(|| mahjong::merge_equivalent_objects(&fpg, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

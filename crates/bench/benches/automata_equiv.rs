@@ -1,0 +1,67 @@
+//! Criterion micro-bench for the automata substrate: NFA→DFA subset
+//! construction and Hopcroft–Karp equivalence (the "almost linear time"
+//! claim of paper Section 2.2.2), on chains, trees, and cyclic graphs
+//! of growing size.
+
+use automata::{Dfa, NfaBuilder, Output, Symbol};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// A chain automaton of `n` states over one symbol.
+fn chain(n: usize, out_offset: u32) -> Dfa {
+    let mut b = NfaBuilder::new();
+    let states: Vec<_> = (0..n)
+        .map(|i| b.add_state(Output(out_offset + (i % 4) as u32)))
+        .collect();
+    for w in states.windows(2) {
+        b.add_transition(w[0], Symbol(0), w[1]);
+    }
+    b.finish(states[0]).to_dfa()
+}
+
+/// A layered nondeterministic automaton: `n` states in layers, two
+/// successors per symbol into the next layer — nondeterministic but
+/// with a polynomially-sized determinization (DFA states are subsets
+/// within one layer of width ≤ 4), mirroring the shallow branching of
+/// real field points-to graphs rather than the exponential worst case.
+fn layered_nfa(n: usize, syms: u32) -> automata::Nfa {
+    let width = 4usize;
+    let mut b = NfaBuilder::new();
+    let states: Vec<_> = (0..n).map(|i| b.add_state(Output((i % 3) as u32))).collect();
+    let layers = n / width;
+    for layer in 0..layers.saturating_sub(1) {
+        for lane in 0..width {
+            let i = layer * width + lane;
+            for sym in 0..syms {
+                let a = (layer + 1) * width + (lane + sym as usize) % width;
+                let c = (layer + 1) * width + (lane + sym as usize + 1) % width;
+                b.add_transition(states[i], Symbol(sym), states[a]);
+                b.add_transition(states[i], Symbol(sym), states[c]);
+            }
+        }
+    }
+    b.finish(states[0])
+}
+
+fn equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hopcroft_karp");
+    for n in [64usize, 256, 1024, 4096] {
+        let a = chain(n, 0);
+        let b = chain(n, 0);
+        group.bench_with_input(BenchmarkId::new("equivalent_chains", n), &(a, b), |bench, (a, b)| {
+            bench.iter(|| assert!(a.equivalent(b)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("subset_construction");
+    for n in [64usize, 256, 1024] {
+        let nfa = layered_nfa(n, 3);
+        group.bench_with_input(BenchmarkId::new("to_dfa", n), &nfa, |bench, nfa| {
+            bench.iter(|| nfa.to_dfa().state_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, equivalence);
+criterion_main!(benches);

@@ -1,0 +1,288 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro --exp table2 [--scale N] [--budget SECS] [--programs a,b,c]
+//! repro --exp fig8
+//! repro --exp fig9
+//! repro --exp table1
+//! repro --exp motivation
+//! repro --exp pre_analysis
+//! repro --exp ablations
+//! repro --exp alias
+//! repro --exp all
+//! ```
+
+use bench::{fmt_count, fmt_time};
+use mahjong::MahjongConfig;
+use pta::Budget;
+
+#[derive(Debug)]
+struct Args {
+    exp: String,
+    scale: usize,
+    budget: u64,
+    programs: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut exp = "all".to_owned();
+    let mut scale = 4;
+    let mut budget = 60;
+    let mut programs: Vec<String> = workloads::dacapo::PROGRAMS
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--exp" => {
+                exp = argv.get(i + 1).cloned().unwrap_or_default();
+                i += 2;
+            }
+            "--scale" => {
+                scale = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(scale);
+                i += 2;
+            }
+            "--budget" => {
+                budget = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(budget);
+                i += 2;
+            }
+            "--programs" => {
+                programs = argv
+                    .get(i + 1)
+                    .map(|s| s.split(',').map(str::to_owned).collect())
+                    .unwrap_or(programs);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args {
+        exp,
+        scale,
+        budget,
+        programs,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let budget = Budget::seconds(args.budget);
+    match args.exp.as_str() {
+        "table2" => table2(&args, budget),
+        "fig8" => fig8(&args),
+        "fig9" => fig9(&args),
+        "table1" => table1(&args),
+        "motivation" => motivation(&args, budget),
+        "pre_analysis" => pre_analysis(&args),
+        "ablations" => ablations(&args, budget),
+        "alias" => alias(&args, budget),
+        "all" => {
+            motivation(&args, budget);
+            fig8(&args);
+            fig9(&args);
+            table1(&args);
+            pre_analysis(&args);
+            table2(&args, budget);
+            ablations(&args, budget);
+            alias(&args, budget);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table2(args: &Args, budget: Budget) {
+    println!("## Table 2 — main results (scale {}, budget {}s)", args.scale, args.budget);
+    println!();
+    println!(
+        "| program | pre (ci/FPG/Mahjong) | analysis | time | M-time | speedup | #fail-casts (A/M) | #poly (A/M) | #cg edges (A/M) |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    for name in &args.programs {
+        let (prepared, rows) = bench::table2_program(name, args.scale, budget);
+        for (i, row) in rows.iter().enumerate() {
+            let pre = if i == 0 {
+                format!(
+                    "{:.2}s / {:.3}s / {:.3}s",
+                    prepared.ci_seconds, prepared.fpg_seconds, prepared.mahjong_seconds
+                )
+            } else {
+                String::new()
+            };
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {}/{} | {}/{} | {}/{} |",
+                if i == 0 { name.as_str() } else { "" },
+                pre,
+                row.analysis,
+                fmt_time(row.baseline.seconds),
+                fmt_time(row.mahjong.seconds),
+                row.speedup
+                    .map(|s| format!("{s:.1}x"))
+                    .unwrap_or_else(|| "-".to_owned()),
+                fmt_count(row.baseline.may_fail_casts),
+                fmt_count(row.mahjong.may_fail_casts),
+                fmt_count(row.baseline.poly_call_sites),
+                fmt_count(row.mahjong.poly_call_sites),
+                fmt_count(row.baseline.call_graph_edges),
+                fmt_count(row.mahjong.call_graph_edges),
+            );
+        }
+    }
+    println!();
+}
+
+fn fig8(args: &Args) {
+    println!("## Figure 8 — abstract objects: allocation-site vs Mahjong (scale {})", args.scale);
+    println!();
+    println!("| program | alloc-site | Mahjong | reduction |");
+    println!("|---|---|---|---|");
+    let mut total_red = 0.0;
+    let mut n = 0;
+    for name in &args.programs {
+        let prepared = bench::prepare(name, args.scale, &MahjongConfig::default());
+        let row = bench::figure8_row(name, &prepared);
+        println!(
+            "| {} | {} | {} | {:.0}% |",
+            name,
+            row.alloc_site_objects,
+            row.mahjong_objects,
+            row.reduction_percent()
+        );
+        total_red += row.reduction_percent();
+        n += 1;
+    }
+    if n > 0 {
+        println!("| **average** | | | **{:.0}%** |", total_red / n as f64);
+    }
+    println!();
+}
+
+fn fig9(args: &Args) {
+    println!("## Figure 9 — equivalence-class sizes (checkstyle, scale {})", args.scale);
+    println!();
+    let prepared = bench::prepare("checkstyle", args.scale, &MahjongConfig::default());
+    println!("| class size | #classes |");
+    println!("|---|---|");
+    for p in bench::figure9(&prepared) {
+        println!("| {} | {} |", p.size, p.count);
+    }
+    println!();
+}
+
+fn table1(args: &Args) {
+    println!("## Table 1 — example equivalence classes (checkstyle, scale {})", args.scale);
+    println!();
+    let prepared = bench::prepare("checkstyle", args.scale, &MahjongConfig::default());
+    println!("| rank | type | class size | total of type | contents |");
+    println!("|---|---|---|---|---|");
+    for row in bench::table1(&prepared, 12) {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            row.rank, row.type_name, row.class_size, row.total_of_type, row.remark
+        );
+    }
+    println!();
+}
+
+fn motivation(args: &Args, budget: Budget) {
+    println!("## Section 2.1 — pmd under 3obj / T-3obj / M-3obj (scale {})", args.scale);
+    println!();
+    let (_prepared, m) = bench::motivation(args.scale, budget);
+    println!("| config | time | #cg edges | #fail-casts | #poly |");
+    println!("|---|---|---|---|---|");
+    for (name, run) in [("3obj", &m.obj3), ("T-3obj", &m.t_obj3), ("M-3obj", &m.m_obj3)] {
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            name,
+            fmt_time(run.seconds),
+            fmt_count(run.call_graph_edges),
+            fmt_count(run.may_fail_casts),
+            fmt_count(run.poly_call_sites),
+        );
+    }
+    println!();
+}
+
+fn pre_analysis(args: &Args) {
+    println!("## Section 6.1.1 — pre-analysis statistics (scale {})", args.scale);
+    println!();
+    println!(
+        "| program | ci | FPG build | Mahjong | FPG objects | FPG edges | avg NFA | max NFA | !single-type | equiv checks |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    for name in &args.programs {
+        let prepared = bench::prepare(name, args.scale, &MahjongConfig::default());
+        let s = bench::pre_analysis_stats(name, &prepared);
+        println!(
+            "| {} | {:.2}s | {:.3}s | {:.3}s | {} | {} | {:.0} | {} | {} | {} |",
+            s.program,
+            s.ci_seconds,
+            s.fpg_seconds,
+            s.mahjong_seconds,
+            s.fpg_objects,
+            s.fpg_edges,
+            s.avg_nfa_states,
+            s.max_nfa_states,
+            s.not_single_type,
+            s.equivalence_checks,
+        );
+    }
+    println!();
+}
+
+fn alias(args: &Args, budget: Budget) {
+    println!("## Extension — the may-alias tradeoff (scale {})", args.scale);
+    println!();
+    println!("| program | alias pairs (2obj) | alias pairs (M-2obj) | #fail-casts | #poly |");
+    println!("|---|---|---|---|---|");
+    for name in args.programs.iter().take(4) {
+        let row = bench::alias_tradeoff(name, args.scale.min(2), budget);
+        println!(
+            "| {} | {} | {} | {} | {} |",
+            row.program,
+            row.baseline_alias_pairs,
+            row.mahjong_alias_pairs,
+            row.may_fail_casts,
+            row.poly_call_sites
+        );
+    }
+    println!();
+    println!("type-dependent metrics match exactly while alias pairs grow — the");
+    println!("designed tradeoff (paper Section 1).");
+    println!();
+}
+
+fn ablations(args: &Args, budget: Budget) {
+    let program = args
+        .programs
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "pmd".to_owned());
+    println!("## Ablations — design choices on {program} (scale {})", args.scale);
+    println!();
+    println!("| config | merged objects | merge time | M-2cs #fail-casts |");
+    println!("|---|---|---|---|");
+    for row in bench::ablations(&program, args.scale, budget) {
+        println!(
+            "| {} | {} | {:.3}s | {} |",
+            row.name,
+            row.merged_objects,
+            row.merge_seconds,
+            fmt_count(row.may_fail_casts_m2cs),
+        );
+    }
+    println!();
+}

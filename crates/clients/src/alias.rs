@@ -1,0 +1,153 @@
+//! The may-alias client — the client Mahjong deliberately does *not*
+//! serve.
+//!
+//! The paper's introduction is explicit: the allocation-site abstraction
+//! "maximizes the precision for may-alias", and Mahjong trades exactly
+//! that away for type-dependent clients. This module makes the tradeoff
+//! measurable: under a merging abstraction, variables that held
+//! *different* objects of the same shape become aliases, so the alias
+//! pair count grows even while call-graph/devirtualization/cast metrics
+//! stay identical. The integration test `tests/alias_tradeoff.rs`
+//! demonstrates both directions.
+
+use jir::{MethodId, Program, VarId};
+use pta::AnalysisResult;
+
+/// Whether two variables may point to a common abstract object
+/// (context-insensitively collapsed).
+pub fn may_alias(result: &AnalysisResult, a: VarId, b: VarId) -> bool {
+    let pa = result.points_to_collapsed(a);
+    let pb = result.points_to_collapsed(b);
+    // Both sorted; linear intersection test.
+    let (mut i, mut j) = (0, 0);
+    while i < pa.len() && j < pb.len() {
+        match pa[i].cmp(&pb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Summary statistics of the may-alias client over a method's local
+/// variables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AliasStats {
+    /// Variable pairs examined (both non-empty).
+    pub pairs: usize,
+    /// Pairs reported as may-alias.
+    pub aliased: usize,
+}
+
+/// Counts may-alias pairs among the local variables of one method.
+pub fn method_alias_stats(program: &Program, result: &AnalysisResult, m: MethodId) -> AliasStats {
+    let vars: Vec<VarId> = (0..program.var_count())
+        .map(VarId::from_usize)
+        .filter(|&v| program.var(v).method() == m)
+        .collect();
+    let pts: Vec<(VarId, Vec<pta::ObjId>)> = vars
+        .iter()
+        .map(|&v| (v, result.points_to_collapsed(v)))
+        .filter(|(_, p)| !p.is_empty())
+        .collect();
+    let mut stats = AliasStats::default();
+    for i in 0..pts.len() {
+        for j in (i + 1)..pts.len() {
+            stats.pairs += 1;
+            if intersects(&pts[i].1, &pts[j].1) {
+                stats.aliased += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Counts may-alias pairs across all reachable methods.
+pub fn program_alias_stats(program: &Program, result: &AnalysisResult) -> AliasStats {
+    let mut total = AliasStats::default();
+    for m in program.method_ids() {
+        if !result.is_reachable(m) {
+            continue;
+        }
+        let s = method_alias_stats(program, result, m);
+        total.pairs += s.pairs;
+        total.aliased += s.aliased;
+    }
+    total
+}
+
+fn intersects(a: &[pta::ObjId], b: &[pta::ObjId]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta::{AllocSiteAbstraction, Analysis, ContextInsensitive};
+
+    #[test]
+    fn distinct_objects_do_not_alias() {
+        let p = jir::parse(
+            "class A {
+               entry static method main() { x = new A; y = new A; return; } }",
+        )
+        .unwrap();
+        let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+            .run(&p)
+            .unwrap();
+        let find = |n: &str| {
+            (0..p.var_count())
+                .map(jir::VarId::from_usize)
+                .find(|&v| p.var(v).name() == n)
+                .unwrap()
+        };
+        assert!(!may_alias(&r, find("x"), find("y")));
+        let stats = program_alias_stats(&p, &r);
+        assert_eq!(stats, AliasStats { pairs: 1, aliased: 0 });
+    }
+
+    #[test]
+    fn copied_variables_alias() {
+        let p = jir::parse(
+            "class A {
+               entry static method main() { x = new A; y = x; return; } }",
+        )
+        .unwrap();
+        let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+            .run(&p)
+            .unwrap();
+        let find = |n: &str| {
+            (0..p.var_count())
+                .map(jir::VarId::from_usize)
+                .find(|&v| p.var(v).name() == n)
+                .unwrap()
+        };
+        assert!(may_alias(&r, find("x"), find("y")));
+    }
+
+    #[test]
+    fn merging_introduces_spurious_aliases() {
+        // Under a merged-object map joining the two sites, x and y alias.
+        let p = jir::parse(
+            "class A {
+               entry static method main() { x = new A; y = new A; return; } }",
+        )
+        .unwrap();
+        let mom = pta::MergedObjectMap::new(vec![
+            jir::AllocId::from_usize(0),
+            jir::AllocId::from_usize(0),
+        ]);
+        let r = Analysis::new(ContextInsensitive, mom).run(&p).unwrap();
+        let stats = program_alias_stats(&p, &r);
+        assert_eq!(stats.aliased, 1, "merging makes x and y alias");
+    }
+}

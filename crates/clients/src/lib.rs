@@ -1,0 +1,318 @@
+//! # clients — type-dependent clients of points-to analysis
+//!
+//! The three clients the paper evaluates (Section 6): call-graph
+//! construction, devirtualization, and may-fail casting. All three
+//! depend only on the *types* of pointed-to objects, which is exactly
+//! why the Mahjong heap abstraction preserves their precision while
+//! merging type-consistent objects.
+//!
+//! Metrics reported (smaller is better, except call-graph edges where
+//! fewer spurious edges means smaller too):
+//!
+//! - **#call graph edges** — context-insensitive call-graph edges
+//!   discovered by the analysis;
+//! - **#poly call sites** — virtual call sites that resolve to two or
+//!   more targets (not devirtualizable);
+//! - **#may-fail casts** — cast sites where some pointed-to object is
+//!   not a subtype of the cast's target type.
+//!
+//! # Examples
+//!
+//! ```
+//! use pta::{Analysis, ContextInsensitive, AllocSiteAbstraction};
+//! use clients::ClientMetrics;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = jir::parse(
+//!     "class A { method foo(this) { return; } }
+//!      class B extends A {
+//!        method foo(this) { return; }
+//!        entry static method main() {
+//!          x = new A; x = new B;
+//!          virt x.foo();
+//!          b = (B) x;
+//!          return;
+//!        }
+//!      }",
+//! )?;
+//! let result = Analysis::new(ContextInsensitive, AllocSiteAbstraction).run(&program)?;
+//! let metrics = ClientMetrics::compute(&program, &result);
+//! assert_eq!(metrics.poly_call_sites, 1);   // dispatches to A::foo and B::foo
+//! assert_eq!(metrics.may_fail_casts, 1);    // the A object fails (B) x
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod alias;
+pub mod reachability;
+
+use jir::{CallKind, CallSiteId, CastId, MethodId, Program, Stmt};
+use pta::AnalysisResult;
+
+/// The paper's three type-dependent client metrics, plus supporting
+/// counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientMetrics {
+    /// Context-insensitive call-graph edges (`#call graph edges`).
+    pub call_graph_edges: usize,
+    /// Reachable methods.
+    pub reachable_methods: usize,
+    /// Virtual call sites with two or more resolved targets
+    /// (`#poly call sites`).
+    pub poly_call_sites: usize,
+    /// Reachable virtual call sites with at least one target.
+    pub resolved_virtual_sites: usize,
+    /// Cast sites that may fail (`#may-fail casts`).
+    pub may_fail_casts: usize,
+    /// Reachable cast sites considered.
+    pub reachable_casts: usize,
+}
+
+impl ClientMetrics {
+    /// Runs all three clients over an analysis result.
+    pub fn compute(program: &Program, result: &AnalysisResult) -> Self {
+        let devirt = devirtualization(program, result);
+        let casts = may_fail_casts(program, result);
+        ClientMetrics {
+            call_graph_edges: result.call_graph_edge_count(),
+            reachable_methods: result.reachable_method_count(),
+            poly_call_sites: devirt.poly_sites.len(),
+            resolved_virtual_sites: devirt.resolved_sites,
+            may_fail_casts: casts.may_fail.len(),
+            reachable_casts: casts.considered,
+        }
+    }
+}
+
+/// Result of the devirtualization client.
+#[derive(Clone, Debug)]
+pub struct Devirtualization {
+    /// Virtual call sites with two or more targets.
+    pub poly_sites: Vec<CallSiteId>,
+    /// Virtual call sites with exactly one target (devirtualizable).
+    pub mono_sites: Vec<CallSiteId>,
+    /// Virtual call sites with at least one resolved target.
+    pub resolved_sites: usize,
+}
+
+/// Classifies every resolved virtual call site as mono (devirtualizable)
+/// or poly.
+pub fn devirtualization(program: &Program, result: &AnalysisResult) -> Devirtualization {
+    let mut poly_sites = Vec::new();
+    let mut mono_sites = Vec::new();
+    let mut resolved = 0;
+    for site in program.call_site_ids() {
+        if !matches!(program.call_site(site).kind(), CallKind::Virtual { .. }) {
+            continue;
+        }
+        let targets = result.call_targets(site);
+        match targets.len() {
+            0 => {}
+            1 => {
+                resolved += 1;
+                mono_sites.push(site);
+            }
+            _ => {
+                resolved += 1;
+                poly_sites.push(site);
+            }
+        }
+    }
+    Devirtualization {
+        poly_sites,
+        mono_sites,
+        resolved_sites: resolved,
+    }
+}
+
+/// Result of the may-fail casting client.
+#[derive(Clone, Debug)]
+pub struct MayFailCasts {
+    /// Cast sites where some incoming object is not a subtype of the
+    /// target type.
+    pub may_fail: Vec<CastId>,
+    /// Reachable cast sites examined.
+    pub considered: usize,
+}
+
+/// Finds cast sites that may fail: a cast `x = (T) y` may fail if the
+/// points-to set of `y` (under any context the enclosing method is
+/// analyzed in) contains an object whose type is not a subtype of `T`.
+pub fn may_fail_casts(program: &Program, result: &AnalysisResult) -> MayFailCasts {
+    let mut may_fail = Vec::new();
+    let mut considered = 0;
+    for m in program.method_ids() {
+        if !result.is_reachable(m) {
+            continue;
+        }
+        for stmt in program.method(m).body() {
+            let Stmt::Cast { rhs, site, .. } = *stmt else {
+                continue;
+            };
+            considered += 1;
+            let target = program.cast(site).target_ty();
+            let fails = result
+                .points_to_collapsed(rhs)
+                .iter()
+                .any(|&obj| !program.is_subtype(result.obj_type(obj), target));
+            if fails {
+                may_fail.push(site);
+            }
+        }
+    }
+    MayFailCasts {
+        may_fail,
+        considered,
+    }
+}
+
+/// A context-insensitive call-graph view with reverse edges, for
+/// downstream analyses that consume call graphs (the paper motivates
+/// Mahjong by the breadth of such analyses).
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    edges: Vec<(CallSiteId, MethodId)>,
+}
+
+impl CallGraph {
+    /// Extracts the call graph from an analysis result.
+    pub fn from_result(result: &AnalysisResult) -> Self {
+        let mut edges: Vec<(CallSiteId, MethodId)> = result.call_graph_edges().collect();
+        edges.sort_unstable();
+        CallGraph { edges }
+    }
+
+    /// Returns all edges, sorted by call site.
+    pub fn edges(&self) -> &[(CallSiteId, MethodId)] {
+        &self.edges
+    }
+
+    /// Returns the number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns the targets of a call site.
+    pub fn targets(&self, site: CallSiteId) -> impl Iterator<Item = MethodId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(s, _)| s == site)
+            .map(|&(_, m)| m)
+    }
+
+    /// Returns the call sites that may invoke `method`.
+    pub fn callers(&self, method: MethodId) -> impl Iterator<Item = CallSiteId> + '_ {
+        self.edges
+            .iter()
+            .filter(move |&&(_, m)| m == method)
+            .map(|&(s, _)| s)
+    }
+
+    /// Checks whether `target` is invoked from within `from` (directly).
+    pub fn calls(&self, program: &Program, from: MethodId, target: MethodId) -> bool {
+        self.edges
+            .iter()
+            .any(|&(s, m)| m == target && program.call_site(s).method() == from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta::{AllocSiteAbstraction, Analysis, ContextInsensitive};
+
+    fn analyze(src: &str) -> (Program, AnalysisResult) {
+        let p = jir::parse(src).expect("parses");
+        let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+            .run(&p)
+            .expect("fits budget");
+        (p, r)
+    }
+
+    #[test]
+    fn mono_call_is_devirtualizable() {
+        let (p, r) = analyze(
+            "class A { method foo(this) { return; }
+               entry static method main() { x = new A; virt x.foo(); return; } }",
+        );
+        let d = devirtualization(&p, &r);
+        assert_eq!(d.mono_sites.len(), 1);
+        assert!(d.poly_sites.is_empty());
+    }
+
+    #[test]
+    fn safe_cast_not_flagged() {
+        let (p, r) = analyze(
+            "class A { }
+             class B extends A {
+               entry static method main() { x = new B; y = (A) x; z = (B) x; return; } }",
+        );
+        let c = may_fail_casts(&p, &r);
+        assert_eq!(c.considered, 2);
+        assert!(c.may_fail.is_empty(), "upcast and exact cast are safe");
+    }
+
+    #[test]
+    fn failing_cast_flagged() {
+        let (p, r) = analyze(
+            "class A { }
+             class B extends A {
+               entry static method main() { x = new A; y = (B) x; return; } }",
+        );
+        let c = may_fail_casts(&p, &r);
+        assert_eq!(c.may_fail.len(), 1);
+    }
+
+    #[test]
+    fn casts_in_unreachable_methods_ignored() {
+        let (p, r) = analyze(
+            "class A { }
+             class B extends A {
+               static method dead() { x = new A; y = (B) x; return; }
+               entry static method main() { return; } }",
+        );
+        let c = may_fail_casts(&p, &r);
+        assert_eq!(c.considered, 0);
+    }
+
+    #[test]
+    fn call_graph_queries() {
+        let (p, r) = analyze(
+            "class A { method foo(this) { virt this.bar(); return; }
+               method bar(this) { return; }
+               entry static method main() { x = new A; virt x.foo(); return; } }",
+        );
+        let cg = CallGraph::from_result(&r);
+        assert_eq!(cg.edge_count(), 2);
+        let a = p.class_by_name("A").unwrap();
+        let foo = p.method_by_name(a, "foo", 0).unwrap();
+        let bar = p.method_by_name(a, "bar", 0).unwrap();
+        let main = p.entry();
+        assert!(cg.calls(&p, main, foo));
+        assert!(cg.calls(&p, foo, bar));
+        assert!(!cg.calls(&p, main, bar));
+        assert_eq!(cg.callers(bar).count(), 1);
+    }
+
+    #[test]
+    fn metrics_aggregate() {
+        let (p, r) = analyze(
+            "class A { method foo(this) { return; } }
+             class B extends A { method foo(this) { return; }
+               entry static method main() {
+                 x = new A; x = new B;
+                 virt x.foo();
+                 b = (B) x;
+                 return;
+               } }",
+        );
+        let m = ClientMetrics::compute(&p, &r);
+        assert_eq!(m.poly_call_sites, 1);
+        assert_eq!(m.may_fail_casts, 1);
+        assert_eq!(m.reachable_casts, 1);
+        assert!(m.call_graph_edges >= 2);
+    }
+}

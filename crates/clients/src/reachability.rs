@@ -1,0 +1,196 @@
+//! Call-graph-consuming analyses: dead-method detection and strongly
+//! connected components — the kind of downstream analysis the paper
+//! motivates Mahjong with ("significant benefits for many program
+//! analyses where call graphs are required").
+
+use jir::{MethodId, Program};
+use pta::AnalysisResult;
+
+use crate::CallGraph;
+
+/// Methods with bodies that the analysis proves unreachable from the
+/// entry point — dead-code candidates.
+pub fn dead_methods(program: &Program, result: &AnalysisResult) -> Vec<MethodId> {
+    program
+        .method_ids()
+        .filter(|&m| !program.method(m).is_abstract() && !result.is_reachable(m))
+        .collect()
+}
+
+/// Strongly connected components of the method-level call graph, in
+/// reverse topological order (callees before callers); recursion shows
+/// up as components with more than one member or a self-loop.
+///
+/// Tarjan's algorithm, iterative to keep stack depth bounded.
+pub fn call_graph_sccs(program: &Program, cg: &CallGraph) -> Vec<Vec<MethodId>> {
+    // Method-level adjacency.
+    let n = program.method_count();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(site, target) in cg.edges() {
+        let from = program.call_site(site).method().index();
+        succs[from].push(target.index());
+    }
+    for row in &mut succs {
+        row.sort_unstable();
+        row.dedup();
+    }
+
+    // Iterative Tarjan.
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut sccs: Vec<Vec<MethodId>> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        // Each frame: (node, next successor position).
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(frame) = frames.last_mut() {
+            let (v, i) = (frame.0, frame.1);
+            if i < succs[v].len() {
+                frame.1 += 1;
+                let w = succs[v][i];
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(parent) = frames.last() {
+                    let p = parent.0;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc member on stack");
+                        on_stack[w] = false;
+                        component.push(MethodId::from_usize(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    sccs.push(component);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Returns the recursive components: SCCs that contain a cycle (more
+/// than one member, or a self-calling method).
+pub fn recursive_components(program: &Program, cg: &CallGraph) -> Vec<Vec<MethodId>> {
+    call_graph_sccs(program, cg)
+        .into_iter()
+        .filter(|scc| {
+            scc.len() > 1 || {
+                let m = scc[0];
+                cg.edges()
+                    .iter()
+                    .any(|&(site, target)| target == m && program.call_site(site).method() == m)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta::{AllocSiteAbstraction, Analysis, ContextInsensitive};
+
+    fn analyze(src: &str) -> (Program, AnalysisResult) {
+        let p = jir::parse(src).unwrap();
+        let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+            .run(&p)
+            .unwrap();
+        (p, r)
+    }
+
+    #[test]
+    fn dead_methods_found() {
+        let (p, r) = analyze(
+            "class A {
+               static method used() { return; }
+               static method unused() { return; }
+               entry static method main() { call A::used(); return; } }",
+        );
+        let dead = dead_methods(&p, &r);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(p.method(dead[0]).name(), "unused");
+    }
+
+    #[test]
+    fn sccs_expose_mutual_recursion() {
+        let (p, r) = analyze(
+            "class A {
+               static method even(v) { call A::odd(v); return; }
+               static method odd(v) { call A::even(v); return; }
+               static method leaf() { return; }
+               entry static method main() {
+                 x = new A;
+                 call A::even(x);
+                 call A::leaf();
+                 return;
+               } }",
+        );
+        let cg = CallGraph::from_result(&r);
+        let sccs = call_graph_sccs(&p, &cg);
+        let rec = recursive_components(&p, &cg);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].len(), 2, "even/odd form one component");
+        // Reverse topological: the even/odd component appears before main.
+        let main_pos = sccs.iter().position(|s| s.contains(&p.entry())).unwrap();
+        let rec_pos = sccs.iter().position(|s| s.len() == 2).unwrap();
+        assert!(rec_pos < main_pos);
+    }
+
+    #[test]
+    fn self_recursion_is_a_recursive_component() {
+        let (p, r) = analyze(
+            "class A {
+               static method f(v) { call A::f(v); return; }
+               entry static method main() { x = new A; call A::f(x); return; } }",
+        );
+        let cg = CallGraph::from_result(&r);
+        let rec = recursive_components(&p, &cg);
+        assert_eq!(rec.len(), 1);
+        assert_eq!(rec[0].len(), 1);
+        assert_eq!(p.method(rec[0][0]).name(), "f");
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_recursive_components() {
+        let (p, r) = analyze(
+            "class A {
+               static method g() { return; }
+               static method f() { call A::g(); return; }
+               entry static method main() { call A::f(); return; } }",
+        );
+        let cg = CallGraph::from_result(&r);
+        assert!(recursive_components(&p, &cg).is_empty());
+        // Every reachable method appears in exactly one SCC.
+        let sccs = call_graph_sccs(&p, &cg);
+        let all: Vec<MethodId> = sccs.into_iter().flatten().collect();
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(all.len(), unique.len());
+    }
+}

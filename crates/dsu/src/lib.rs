@@ -1,0 +1,211 @@
+//! # dsu — disjoint-set forests
+//!
+//! The union-find substrate used by Mahjong's object-merging driver
+//! (Algorithm 1) and by the Hopcroft–Karp automata-equivalence checker
+//! (Algorithm 4). Implements the two classic heuristics the paper calls
+//! out in its Section 5 ("Disjoint-Set Forest" optimization): union by
+//! rank and path compression, giving near-O(1) amortized operations.
+//!
+//! # Examples
+//!
+//! ```
+//! use dsu::DisjointSets;
+//!
+//! let mut ds = DisjointSets::new(5);
+//! ds.union(0, 1);
+//! ds.union(3, 4);
+//! assert!(ds.same_set(0, 1));
+//! assert!(!ds.same_set(1, 3));
+//! assert_eq!(ds.set_count(), 3); // {0,1} {2} {3,4}
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::cell::Cell;
+
+/// A disjoint-set forest over the integers `0..len`.
+///
+/// `find` uses interior mutability for path compression, so queries take
+/// `&self`; the structure is therefore not `Sync` (wrap it per-thread or
+/// behind a lock for parallel use — Mahjong's parallel driver gives each
+/// worker thread its own forest, see `mahjong::merge_parallel`).
+#[derive(Debug, Clone)]
+pub struct DisjointSets {
+    parent: Vec<Cell<u32>>,
+    rank: Vec<u8>,
+    set_count: usize,
+}
+
+impl DisjointSets {
+    /// Creates `len` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds `u32::MAX`.
+    pub fn new(len: usize) -> Self {
+        assert!(u32::try_from(len).is_ok(), "universe too large for u32");
+        DisjointSets {
+            parent: (0..len as u32).map(Cell::new).collect(),
+            rank: vec![0; len],
+            set_count: len,
+        }
+    }
+
+    /// Returns the size of the universe.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns `true` if the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Returns the number of disjoint sets currently in the forest.
+    pub fn set_count(&self) -> usize {
+        self.set_count
+    }
+
+    /// Adds one more singleton set and returns its element.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        assert!(u32::try_from(id).is_ok(), "universe too large for u32");
+        self.parent.push(Cell::new(id as u32));
+        self.rank.push(0);
+        self.set_count += 1;
+        id
+    }
+
+    /// Returns the representative of the set containing `x`, compressing
+    /// the path along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of bounds.
+    pub fn find(&self, x: usize) -> usize {
+        let mut root = x as u32;
+        while self.parent[root as usize].get() != root {
+            root = self.parent[root as usize].get();
+        }
+        // Path compression: point every node on the path at the root.
+        let mut cur = x as u32;
+        while cur != root {
+            let next = self.parent[cur as usize].get();
+            self.parent[cur as usize].set(root);
+            cur = next;
+        }
+        root as usize
+    }
+
+    /// Unites the sets containing `x` and `y`; returns `true` if they
+    /// were previously distinct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of bounds.
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        // Union by rank: attach the shallower tree under the deeper one.
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] {
+            (rx, ry)
+        } else {
+            (ry, rx)
+        };
+        self.parent[lo].set(hi as u32);
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.set_count -= 1;
+        true
+    }
+
+    /// Returns `true` if `x` and `y` are in the same set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` is out of bounds.
+    pub fn same_set(&self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Groups the universe into its equivalence classes.
+    ///
+    /// Returns one `Vec` per set, each listing the set's members in
+    /// ascending order; classes are ordered by their smallest member.
+    pub fn classes(&self) -> Vec<Vec<usize>> {
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..self.len() {
+            by_root.entry(self.find(x)).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        out.sort_by_key(|class| class[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let ds = DisjointSets::new(4);
+        assert_eq!(ds.set_count(), 4);
+        for i in 0..4 {
+            assert_eq!(ds.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut ds = DisjointSets::new(6);
+        assert!(ds.union(0, 1));
+        assert!(ds.union(1, 2));
+        assert!(!ds.union(0, 2), "already united");
+        assert_eq!(ds.set_count(), 4);
+        assert!(ds.same_set(0, 2));
+        assert!(!ds.same_set(0, 3));
+    }
+
+    #[test]
+    fn transitive_chain() {
+        let mut ds = DisjointSets::new(100);
+        for i in 0..99 {
+            ds.union(i, i + 1);
+        }
+        assert_eq!(ds.set_count(), 1);
+        assert!(ds.same_set(0, 99));
+    }
+
+    #[test]
+    fn push_extends_universe() {
+        let mut ds = DisjointSets::new(1);
+        let id = ds.push();
+        assert_eq!(id, 1);
+        assert_eq!(ds.set_count(), 2);
+        ds.union(0, 1);
+        assert_eq!(ds.set_count(), 1);
+    }
+
+    #[test]
+    fn classes_are_sorted_partitions() {
+        let mut ds = DisjointSets::new(5);
+        ds.union(4, 2);
+        ds.union(0, 3);
+        let classes = ds.classes();
+        assert_eq!(classes, vec![vec![0, 3], vec![1], vec![2, 4]]);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let ds = DisjointSets::new(0);
+        assert!(ds.is_empty());
+        assert_eq!(ds.set_count(), 0);
+        assert!(ds.classes().is_empty());
+    }
+}

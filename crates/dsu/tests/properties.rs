@@ -1,0 +1,101 @@
+//! Property-based tests for the disjoint-set forest: union-find must
+//! realize exactly the equivalence closure of the union operations.
+
+use dsu::DisjointSets;
+use proptest::prelude::*;
+
+/// A reference implementation: equivalence closure by transitive
+/// saturation over an adjacency list.
+fn reference_classes(n: usize, unions: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut label: Vec<usize> = (0..n).collect();
+    // Repeatedly relabel until stable (O(n * unions), fine for tests).
+    loop {
+        let mut changed = false;
+        for &(a, b) in unions {
+            let (la, lb) = (label[a], label[b]);
+            if la != lb {
+                let lo = la.min(lb);
+                for l in label.iter_mut() {
+                    if *l == la || *l == lb {
+                        *l = lo;
+                    }
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let mut by_label: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for (i, &l) in label.iter().enumerate() {
+        by_label.entry(l).or_default().push(i);
+    }
+    by_label.into_values().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The forest's classes equal the reference closure's classes.
+    #[test]
+    fn classes_match_reference(
+        n in 1usize..24,
+        unions in prop::collection::vec((0usize..24, 0usize..24), 0..48),
+    ) {
+        let unions: Vec<(usize, usize)> =
+            unions.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let mut ds = DisjointSets::new(n);
+        for &(a, b) in &unions {
+            ds.union(a, b);
+        }
+        prop_assert_eq!(ds.classes(), reference_classes(n, &unions));
+    }
+
+    /// `same_set` agrees with class membership, and `set_count` with the
+    /// number of classes.
+    #[test]
+    fn queries_are_consistent(
+        n in 1usize..16,
+        unions in prop::collection::vec((0usize..16, 0usize..16), 0..32),
+    ) {
+        let mut ds = DisjointSets::new(n);
+        for (a, b) in unions {
+            ds.union(a % n, b % n);
+        }
+        let classes = ds.classes();
+        prop_assert_eq!(classes.len(), ds.set_count());
+        for class in &classes {
+            for &x in class {
+                for &y in class {
+                    prop_assert!(ds.same_set(x, y));
+                }
+                prop_assert_eq!(ds.find(x), ds.find(class[0]));
+            }
+        }
+        // Elements of different classes are never same_set.
+        for i in 0..classes.len() {
+            for j in (i + 1)..classes.len() {
+                prop_assert!(!ds.same_set(classes[i][0], classes[j][0]));
+            }
+        }
+    }
+
+    /// Union returns true exactly when it joins two distinct sets, and
+    /// the set count decreases by exactly the number of true unions.
+    #[test]
+    fn union_return_value_tracks_count(
+        n in 1usize..16,
+        unions in prop::collection::vec((0usize..16, 0usize..16), 0..32),
+    ) {
+        let mut ds = DisjointSets::new(n);
+        let mut effective = 0usize;
+        for (a, b) in unions {
+            if ds.union(a % n, b % n) {
+                effective += 1;
+            }
+        }
+        prop_assert_eq!(ds.set_count(), n - effective);
+    }
+}

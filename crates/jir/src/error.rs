@@ -1,0 +1,97 @@
+//! Error types for program construction, validation, and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while building, validating, or parsing a JIR program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are self-describing names
+pub enum JirError {
+    /// A class name was declared twice.
+    DuplicateClass(String),
+    /// A field name was declared twice in the same class.
+    DuplicateField { class: String, field: String },
+    /// A method `(name, arity)` pair was declared twice in the same class.
+    DuplicateMethod { class: String, method: String },
+    /// The class hierarchy contains a cycle through the named class.
+    CyclicHierarchy(String),
+    /// A class lists a non-interface in its `implements` clause, or
+    /// extends an interface.
+    BadSupertype { class: String, supertype: String },
+    /// No entry method was designated.
+    MissingEntry,
+    /// The entry method is not static or takes parameters.
+    BadEntry(String),
+    /// An abstract method has a body, or a concrete method was declared
+    /// inside an interface.
+    BadMethodShape { class: String, method: String },
+    /// A statement references a variable of a different method.
+    ForeignVariable { method: String, var: String },
+    /// An allocation site instantiates an abstract class or interface.
+    AbstractAllocation { method: String, ty: String },
+    /// A parse error with line information.
+    Parse { line: usize, message: String },
+    /// A name used in a program could not be resolved.
+    Unresolved { line: usize, name: String },
+}
+
+impl fmt::Display for JirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JirError::DuplicateClass(name) => write!(f, "duplicate class `{name}`"),
+            JirError::DuplicateField { class, field } => {
+                write!(f, "duplicate field `{field}` in class `{class}`")
+            }
+            JirError::DuplicateMethod { class, method } => {
+                write!(f, "duplicate method `{method}` in class `{class}`")
+            }
+            JirError::CyclicHierarchy(name) => {
+                write!(f, "cyclic class hierarchy through `{name}`")
+            }
+            JirError::BadSupertype { class, supertype } => {
+                write!(f, "class `{class}` has invalid supertype `{supertype}`")
+            }
+            JirError::MissingEntry => write!(f, "program has no entry method"),
+            JirError::BadEntry(name) => {
+                write!(f, "entry method `{name}` must be static and take no parameters")
+            }
+            JirError::BadMethodShape { class, method } => {
+                write!(f, "method `{class}.{method}` has an invalid shape")
+            }
+            JirError::ForeignVariable { method, var } => {
+                write!(f, "method `{method}` uses variable `{var}` of another method")
+            }
+            JirError::AbstractAllocation { method, ty } => {
+                write!(f, "method `{method}` instantiates non-instantiable type `{ty}`")
+            }
+            JirError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            JirError::Unresolved { line, name } => {
+                write!(f, "unresolved name `{name}` at line {line}")
+            }
+        }
+    }
+}
+
+impl Error for JirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            JirError::DuplicateClass("A".into()).to_string(),
+            JirError::MissingEntry.to_string(),
+            JirError::Parse {
+                line: 3,
+                message: "bad token".into(),
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m}");
+            assert!(m.chars().next().unwrap().is_lowercase(), "{m}");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Typed index identifiers for every entity arena in a [`Program`].
+//!
+//! Each id is a thin `u32` newtype ([C-NEWTYPE]): cheap to copy, hashable,
+//! and statically distinct from every other id kind, so a [`FieldId`] can
+//! never be confused with a [`MethodId`] at a call site.
+//!
+//! [`Program`]: crate::Program
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+/// Declares a `u32`-backed arena index type.
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a raw arena index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_usize(index: usize) -> Self {
+                Self(u32::try_from(index).expect("arena index overflows u32"))
+            }
+
+            /// Returns the raw arena index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Returns the raw `u32` value.
+            #[inline]
+            pub fn as_u32(self) -> u32 {
+                self.0
+            }
+
+            /// Creates an id from a raw `u32` value.
+            #[inline]
+            pub fn from_u32(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a class or interface declaration.
+    ClassId,
+    "class#"
+);
+define_id!(
+    /// Identifies an entry in the program's type table (a class type or an
+    /// array type).
+    TypeId,
+    "ty#"
+);
+define_id!(
+    /// Identifies a field declaration.
+    FieldId,
+    "field#"
+);
+define_id!(
+    /// Identifies a method declaration.
+    MethodId,
+    "method#"
+);
+define_id!(
+    /// Identifies a local variable or parameter of some method.
+    VarId,
+    "var#"
+);
+define_id!(
+    /// Identifies an allocation site (`x = new T()`).
+    AllocId,
+    "alloc#"
+);
+define_id!(
+    /// Identifies a call site.
+    CallSiteId,
+    "call#"
+);
+define_id!(
+    /// Identifies a cast site (`x = (T) y`).
+    CastId,
+    "cast#"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_usize() {
+        let id = ClassId::from_usize(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.as_u32(), 42);
+        assert_eq!(ClassId::from_u32(42), id);
+    }
+
+    #[test]
+    fn debug_and_display_use_prefix() {
+        let id = FieldId::from_usize(7);
+        assert_eq!(format!("{id:?}"), "field#7");
+        assert_eq!(format!("{id}"), "field#7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(VarId::from_usize(1) < VarId::from_usize(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "arena index overflows u32")]
+    fn from_usize_overflow_panics() {
+        let _ = AllocId::from_usize(usize::MAX);
+    }
+}

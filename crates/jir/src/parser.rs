@@ -1,0 +1,999 @@
+//! Parser for the textual `.jir` program syntax.
+//!
+//! The syntax mirrors what the pretty-printer emits; whitespace and line
+//! breaks are insignificant. For example:
+//!
+//! ```text
+//! class A {
+//!   field f: A;
+//!   method foo(this) { return; }
+//! }
+//! class B extends A {
+//!   method foo(this) { return; }
+//!   entry static method main() {
+//!     x = new B;
+//!     x.f = x;
+//!     y = x.f;
+//!     virt x.foo();
+//!     c = (A) y;
+//!     return;
+//!   }
+//! }
+//! ```
+//!
+//! Statements: `x = new T` / `x = new T[]`, `x = y`, `x = y.f`, `y.f = x`,
+//! `x = y[*]`, `y[*] = x`, static loads/stores via a class name
+//! (`x = C.f`), `x = (T) y`, `virt r.m(a, b)`, `special r.C::m(a)`,
+//! `call C::m(a)` (each optionally prefixed `x = `), and `return [x]`.
+//! Line comments start with `//`. The root class `Object` is predeclared.
+
+use std::collections::HashMap;
+
+use crate::builder::ProgramBuilder;
+use crate::error::JirError;
+use crate::ids::{ClassId, FieldId, MethodId, TypeId, VarId};
+use crate::program::Program;
+
+/// Parses a program from `.jir` source text.
+///
+/// # Errors
+///
+/// Returns [`JirError::Parse`] on syntax errors, [`JirError::Unresolved`]
+/// on unknown names, and any [`ProgramBuilder::finish`] validation error.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), jir::JirError> {
+/// let program = jir::parse(
+///     "class A {
+///        entry static method main() { x = new A; return; }
+///      }",
+/// )?;
+/// assert_eq!(program.alloc_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> Result<Program, JirError> {
+    let tokens = lex(source);
+    let ast = Parser::new(tokens).program()?;
+    build(ast)
+}
+
+// --- Lexer ------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Sym(char),
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Sym(c) => write!(f, "`{c}`"),
+        }
+    }
+}
+
+fn lex(source: &str) -> Vec<(usize, Tok)> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push((line, Tok::Sym('/')));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '$' => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '$' {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((line, Tok::Ident(word)));
+            }
+            sym => {
+                chars.next();
+                out.push((line, Tok::Sym(sym)));
+            }
+        }
+    }
+    out
+}
+
+// --- AST ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct AstProgram {
+    classes: Vec<AstClass>,
+}
+
+#[derive(Debug)]
+struct AstClass {
+    name: String,
+    is_interface: bool,
+    is_abstract: bool,
+    extends: Vec<String>,
+    implements: Vec<String>,
+    fields: Vec<AstField>,
+    methods: Vec<AstMethod>,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct AstField {
+    name: String,
+    ty: AstType,
+    is_static: bool,
+    line: usize,
+}
+
+#[derive(Debug, Clone)]
+struct AstType {
+    base: String,
+    dims: usize,
+}
+
+#[derive(Debug)]
+struct AstMethod {
+    name: String,
+    params: Vec<String>,
+    is_static: bool,
+    is_abstract: bool,
+    is_entry: bool,
+    body: Vec<AstStmt>,
+}
+
+#[derive(Debug)]
+enum AstStmt {
+    New {
+        lhs: String,
+        ty: AstType,
+        line: usize,
+    },
+    Assign {
+        lhs: String,
+        rhs: String,
+    },
+    Load {
+        lhs: String,
+        base: String,
+        field: String,
+        line: usize,
+    },
+    Store {
+        base: String,
+        field: String,
+        rhs: String,
+        line: usize,
+    },
+    ArrayLoad {
+        lhs: String,
+        array: String,
+    },
+    ArrayStore {
+        array: String,
+        rhs: String,
+    },
+    Cast {
+        lhs: String,
+        ty: AstType,
+        rhs: String,
+        line: usize,
+    },
+    Call {
+        result: Option<String>,
+        kind: AstCall,
+        line: usize,
+    },
+    Return(Option<String>),
+}
+
+#[derive(Debug)]
+enum AstCall {
+    Virt {
+        recv: String,
+        name: String,
+        args: Vec<String>,
+    },
+    Special {
+        recv: String,
+        class: String,
+        name: String,
+        args: Vec<String>,
+    },
+    Static {
+        class: String,
+        name: String,
+        args: Vec<String>,
+    },
+}
+
+// --- Parser -------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+fn perr(line: usize, message: impl Into<String>) -> JirError {
+    JirError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Parser {
+    fn new(toks: Vec<(usize, Tok)>) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(1, |&(l, _)| l)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, JirError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(perr(line, format!("expected {what}, found {t}"))),
+            None => Err(perr(line, format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect(&mut self, sym: char) -> Result<(), JirError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Sym(c)) if c == sym => Ok(()),
+            Some(t) => Err(perr(line, format!("expected `{sym}`, found {t}"))),
+            None => Err(perr(line, format!("expected `{sym}`, found end of input"))),
+        }
+    }
+
+    fn eat(&mut self, sym: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(sym)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn ty(&mut self) -> Result<AstType, JirError> {
+        let base = self.ident("type name")?;
+        let mut dims = 0;
+        while self.eat('[') {
+            self.expect(']')?;
+            dims += 1;
+        }
+        Ok(AstType { base, dims })
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>, JirError> {
+        let mut out = vec![self.ident("name")?];
+        while self.eat(',') {
+            out.push(self.ident("name")?);
+        }
+        Ok(out)
+    }
+
+    fn program(mut self) -> Result<AstProgram, JirError> {
+        let mut classes = Vec::new();
+        while self.peek().is_some() {
+            classes.push(self.class()?);
+        }
+        Ok(AstProgram { classes })
+    }
+
+    fn class(&mut self) -> Result<AstClass, JirError> {
+        let line = self.line();
+        let is_abstract = self.eat_kw("abstract");
+        let is_interface = if self.eat_kw("class") {
+            false
+        } else if self.eat_kw("interface") {
+            true
+        } else {
+            return Err(perr(line, "expected `class` or `interface`"));
+        };
+        let name = self.ident("class name")?;
+        let mut extends = Vec::new();
+        let mut implements = Vec::new();
+        loop {
+            if self.eat_kw("extends") {
+                extends = self.ident_list()?;
+            } else if self.eat_kw("implements") {
+                implements = self.ident_list()?;
+            } else {
+                break;
+            }
+        }
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat('}') {
+            let mline = self.line();
+            let mut is_static = false;
+            let mut is_abs = false;
+            let mut is_entry = false;
+            loop {
+                if self.eat_kw("static") {
+                    is_static = true;
+                } else if self.eat_kw("abstract") {
+                    is_abs = true;
+                } else if self.eat_kw("entry") {
+                    is_entry = true;
+                } else {
+                    break;
+                }
+            }
+            if self.eat_kw("field") {
+                let fname = self.ident("field name")?;
+                self.expect(':')?;
+                let ty = self.ty()?;
+                self.expect(';')?;
+                fields.push(AstField {
+                    name: fname,
+                    ty,
+                    is_static,
+                    line: mline,
+                });
+            } else if self.eat_kw("method") {
+                let mname = self.ident("method name")?;
+                self.expect('(')?;
+                let mut params = Vec::new();
+                if !self.eat(')') {
+                    loop {
+                        params.push(self.ident("parameter name")?);
+                        if self.eat(')') {
+                            break;
+                        }
+                        self.expect(',')?;
+                    }
+                }
+                // An explicit leading `this` is tolerated and stripped.
+                if !is_static && params.first().map(String::as_str) == Some("this") {
+                    params.remove(0);
+                }
+                let body = if self.eat(';') {
+                    is_abs = true;
+                    Vec::new()
+                } else {
+                    self.expect('{')?;
+                    let mut body = Vec::new();
+                    while !self.eat('}') {
+                        body.push(self.stmt()?);
+                    }
+                    body
+                };
+                methods.push(AstMethod {
+                    name: mname,
+                    params,
+                    is_static,
+                    is_abstract: is_abs,
+                    is_entry,
+                    body,
+                });
+            } else {
+                return Err(perr(mline, "expected `field` or `method`"));
+            }
+        }
+        Ok(AstClass {
+            name,
+            is_interface,
+            is_abstract,
+            extends,
+            implements,
+            fields,
+            methods,
+            line,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<AstStmt, JirError> {
+        let line = self.line();
+        if self.eat_kw("return") {
+            let value = match self.peek() {
+                Some(Tok::Ident(_)) => Some(self.ident("variable")?),
+                _ => None,
+            };
+            self.expect(';')?;
+            return Ok(AstStmt::Return(value));
+        }
+        if self.peek_is_kw("virt") || self.peek_is_kw("special") || self.peek_is_kw("call") {
+            let kind = self.call()?;
+            self.expect(';')?;
+            return Ok(AstStmt::Call {
+                result: None,
+                kind,
+                line,
+            });
+        }
+
+        let first = self.ident("statement")?;
+        if self.eat('[') {
+            // `base[*] = rhs`
+            self.expect('*')?;
+            self.expect(']')?;
+            self.expect('=')?;
+            let rhs = self.ident("rhs")?;
+            self.expect(';')?;
+            return Ok(AstStmt::ArrayStore { array: first, rhs });
+        }
+        if self.eat('.') {
+            // `base.f = rhs`
+            let field = self.ident("field name")?;
+            self.expect('=')?;
+            let rhs = self.ident("rhs")?;
+            self.expect(';')?;
+            return Ok(AstStmt::Store {
+                base: first,
+                field,
+                rhs,
+                line,
+            });
+        }
+        self.expect('=')?;
+        if self.eat('(') {
+            // `lhs = (T) rhs`
+            let ty = self.ty()?;
+            self.expect(')')?;
+            let rhs = self.ident("rhs")?;
+            self.expect(';')?;
+            return Ok(AstStmt::Cast {
+                lhs: first,
+                ty,
+                rhs,
+                line,
+            });
+        }
+        if self.eat_kw("new") {
+            let ty = self.ty()?;
+            self.expect(';')?;
+            return Ok(AstStmt::New {
+                lhs: first,
+                ty,
+                line,
+            });
+        }
+        if self.peek_is_kw("virt") || self.peek_is_kw("special") || self.peek_is_kw("call") {
+            let kind = self.call()?;
+            self.expect(';')?;
+            return Ok(AstStmt::Call {
+                result: Some(first),
+                kind,
+                line,
+            });
+        }
+        let second = self.ident("rhs")?;
+        if self.eat('[') {
+            // `lhs = array[*]`
+            self.expect('*')?;
+            self.expect(']')?;
+            self.expect(';')?;
+            return Ok(AstStmt::ArrayLoad {
+                lhs: first,
+                array: second,
+            });
+        }
+        if self.eat('.') {
+            // `lhs = base.f`
+            let field = self.ident("field name")?;
+            self.expect(';')?;
+            return Ok(AstStmt::Load {
+                lhs: first,
+                base: second,
+                field,
+                line,
+            });
+        }
+        self.expect(';')?;
+        Ok(AstStmt::Assign {
+            lhs: first,
+            rhs: second,
+        })
+    }
+
+    fn call(&mut self) -> Result<AstCall, JirError> {
+        if self.eat_kw("virt") {
+            let recv = self.ident("receiver")?;
+            self.expect('.')?;
+            let name = self.ident("method name")?;
+            let args = self.args()?;
+            Ok(AstCall::Virt { recv, name, args })
+        } else if self.eat_kw("special") {
+            let recv = self.ident("receiver")?;
+            self.expect('.')?;
+            let class = self.ident("class name")?;
+            self.expect(':')?;
+            self.expect(':')?;
+            let name = self.ident("method name")?;
+            let args = self.args()?;
+            Ok(AstCall::Special {
+                recv,
+                class,
+                name,
+                args,
+            })
+        } else {
+            // call C::m(...)
+            let line = self.line();
+            if !self.eat_kw("call") {
+                return Err(perr(line, "expected a call keyword"));
+            }
+            let class = self.ident("class name")?;
+            self.expect(':')?;
+            self.expect(':')?;
+            let name = self.ident("method name")?;
+            let args = self.args()?;
+            Ok(AstCall::Static { class, name, args })
+        }
+    }
+
+    fn args(&mut self) -> Result<Vec<String>, JirError> {
+        self.expect('(')?;
+        let mut out = Vec::new();
+        if self.eat(')') {
+            return Ok(out);
+        }
+        loop {
+            out.push(self.ident("argument")?);
+            if self.eat(')') {
+                return Ok(out);
+            }
+            self.expect(',')?;
+        }
+    }
+}
+
+// --- AST -> Program -------------------------------------------------------------
+
+fn build(ast: AstProgram) -> Result<Program, JirError> {
+    let mut b = ProgramBuilder::new();
+
+    // Declare classes in dependency order (supers before subs).
+    let index: HashMap<&str, usize> = ast
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.name.as_str(), i))
+        .collect();
+    let n = ast.classes.len();
+    let mut declared: Vec<Option<ClassId>> = vec![None; n];
+    let mut state = vec![0u8; n];
+    for i in 0..n {
+        declare_class(&ast, &index, i, &mut b, &mut declared, &mut state)?;
+    }
+
+    // Declare fields and method signatures.
+    let mut method_ids: Vec<Vec<MethodId>> = Vec::with_capacity(n);
+    for (i, cls) in ast.classes.iter().enumerate() {
+        let cid = declared[i].expect("declared above");
+        for f in &cls.fields {
+            let ty = resolve_type(&mut b, &f.ty, f.line)?;
+            if f.is_static {
+                b.declare_static_field(cid, &f.name, ty)?;
+            } else {
+                b.declare_field(cid, &f.name, ty)?;
+            }
+        }
+        let mut mids = Vec::new();
+        for m in &cls.methods {
+            let mid = if m.is_static {
+                b.declare_static_method(cid, &m.name, m.params.len())?
+            } else if m.is_abstract {
+                b.declare_abstract_method(cid, &m.name, m.params.len())?
+            } else {
+                b.declare_method(cid, &m.name, m.params.len())?
+            };
+            if m.is_entry {
+                b.set_entry(mid);
+            }
+            mids.push(mid);
+        }
+        method_ids.push(mids);
+    }
+
+    // Build bodies.
+    for (i, cls) in ast.classes.iter().enumerate() {
+        for (j, m) in cls.methods.iter().enumerate() {
+            if m.is_abstract {
+                continue;
+            }
+            build_body(&mut b, method_ids[i][j], m)?;
+        }
+    }
+
+    b.finish()
+}
+
+fn declare_class(
+    ast: &AstProgram,
+    index: &HashMap<&str, usize>,
+    i: usize,
+    b: &mut ProgramBuilder,
+    declared: &mut Vec<Option<ClassId>>,
+    state: &mut Vec<u8>,
+) -> Result<ClassId, JirError> {
+    if let Some(id) = declared[i] {
+        return Ok(id);
+    }
+    if state[i] == 1 {
+        return Err(JirError::CyclicHierarchy(ast.classes[i].name.clone()));
+    }
+    state[i] = 1;
+    let cls = &ast.classes[i];
+    let resolve = |names: &[String],
+                   b: &mut ProgramBuilder,
+                   declared: &mut Vec<Option<ClassId>>,
+                   state: &mut Vec<u8>|
+     -> Result<Vec<ClassId>, JirError> {
+        names
+            .iter()
+            .map(|name| {
+                if name == "Object" {
+                    return Ok(b.object_class());
+                }
+                let &j = index.get(name.as_str()).ok_or_else(|| JirError::Unresolved {
+                    line: cls.line,
+                    name: name.clone(),
+                })?;
+                declare_class(ast, index, j, b, declared, state)
+            })
+            .collect()
+    };
+    let supers = resolve(&cls.extends, b, declared, state)?;
+    let ifaces = resolve(&cls.implements, b, declared, state)?;
+    let id = if cls.is_interface {
+        b.declare_interface(&cls.name, &supers)?
+    } else {
+        if supers.len() > 1 {
+            return Err(perr(cls.line, "a class may extend at most one class"));
+        }
+        b.declare_class_full(
+            &cls.name,
+            supers.first().copied(),
+            &ifaces,
+            false,
+            cls.is_abstract,
+        )?
+    };
+    declared[i] = Some(id);
+    state[i] = 2;
+    Ok(id)
+}
+
+fn resolve_type(b: &mut ProgramBuilder, ty: &AstType, line: usize) -> Result<TypeId, JirError> {
+    let cid = b.class_by_name(&ty.base).ok_or_else(|| JirError::Unresolved {
+        line,
+        name: ty.base.clone(),
+    })?;
+    let mut t = b.class_type(cid);
+    for _ in 0..ty.dims {
+        t = b.array_type(t);
+    }
+    Ok(t)
+}
+
+fn build_body(b: &mut ProgramBuilder, mid: MethodId, ast: &AstMethod) -> Result<(), JirError> {
+    let mut vars: HashMap<String, VarId> = HashMap::new();
+    {
+        let body = b.body(mid);
+        if let Some(this) = body.this() {
+            vars.insert("this".to_owned(), this);
+        }
+        for (k, p) in ast.params.iter().enumerate() {
+            vars.insert(p.clone(), body.param(k));
+        }
+    }
+    for stmt in &ast.body {
+        build_stmt(b, mid, &mut vars, stmt)?;
+    }
+    Ok(())
+}
+
+fn build_stmt(
+    b: &mut ProgramBuilder,
+    mid: MethodId,
+    vars: &mut HashMap<String, VarId>,
+    stmt: &AstStmt,
+) -> Result<(), JirError> {
+    match stmt {
+        AstStmt::New { lhs, ty, line } => {
+            let lhs = lookup_var(b, mid, vars, lhs);
+            let ty = resolve_type(b, ty, *line)?;
+            b.body(mid).new_of_type(lhs, ty);
+        }
+        AstStmt::Assign { lhs, rhs } => {
+            let lhs = lookup_var(b, mid, vars, lhs);
+            let rhs = lookup_var(b, mid, vars, rhs);
+            b.body(mid).assign(lhs, rhs);
+        }
+        AstStmt::Load {
+            lhs,
+            base,
+            field,
+            line,
+        } => {
+            let lhs = lookup_var(b, mid, vars, lhs);
+            // A class name in base position means a static load.
+            if !vars.contains_key(base) && b.class_by_name(base).is_some() {
+                let field = field_by_name(b, field, *line)?;
+                b.body(mid).static_load(lhs, field);
+            } else {
+                let base = lookup_var(b, mid, vars, base);
+                let field = field_by_name(b, field, *line)?;
+                b.body(mid).load(lhs, base, field);
+            }
+        }
+        AstStmt::Store {
+            base,
+            field,
+            rhs,
+            line,
+        } => {
+            let rhs = lookup_var(b, mid, vars, rhs);
+            if !vars.contains_key(base) && b.class_by_name(base).is_some() {
+                let field = field_by_name(b, field, *line)?;
+                b.body(mid).static_store(field, rhs);
+            } else {
+                let base = lookup_var(b, mid, vars, base);
+                let field = field_by_name(b, field, *line)?;
+                b.body(mid).store(base, field, rhs);
+            }
+        }
+        AstStmt::ArrayLoad { lhs, array } => {
+            let lhs = lookup_var(b, mid, vars, lhs);
+            let array = lookup_var(b, mid, vars, array);
+            b.body(mid).array_load(lhs, array);
+        }
+        AstStmt::ArrayStore { array, rhs } => {
+            let array = lookup_var(b, mid, vars, array);
+            let rhs = lookup_var(b, mid, vars, rhs);
+            b.body(mid).array_store(array, rhs);
+        }
+        AstStmt::Cast { lhs, ty, rhs, line } => {
+            let lhs = lookup_var(b, mid, vars, lhs);
+            let rhs = lookup_var(b, mid, vars, rhs);
+            let ty = resolve_type(b, ty, *line)?;
+            b.body(mid).cast(lhs, ty, rhs);
+        }
+        AstStmt::Call { result, kind, line } => {
+            let result = result.as_ref().map(|r| lookup_var(b, mid, vars, r));
+            match kind {
+                AstCall::Virt { recv, name, args } => {
+                    let recv = lookup_var(b, mid, vars, recv);
+                    let args: Vec<VarId> =
+                        args.iter().map(|a| lookup_var(b, mid, vars, a)).collect();
+                    b.body(mid).virtual_call(result, recv, name, &args);
+                }
+                AstCall::Special {
+                    recv,
+                    class,
+                    name,
+                    args,
+                } => {
+                    let target = exact_method(b, class, name, args.len(), *line)?;
+                    let recv = lookup_var(b, mid, vars, recv);
+                    let args: Vec<VarId> =
+                        args.iter().map(|a| lookup_var(b, mid, vars, a)).collect();
+                    b.body(mid).special_call(result, recv, target, &args);
+                }
+                AstCall::Static { class, name, args } => {
+                    let target = exact_method(b, class, name, args.len(), *line)?;
+                    let args: Vec<VarId> =
+                        args.iter().map(|a| lookup_var(b, mid, vars, a)).collect();
+                    b.body(mid).static_call(result, target, &args);
+                }
+            }
+        }
+        AstStmt::Return(value) => {
+            let value = value.as_ref().map(|v| lookup_var(b, mid, vars, v));
+            b.body(mid).ret(value);
+        }
+    }
+    Ok(())
+}
+
+fn lookup_var(
+    b: &mut ProgramBuilder,
+    mid: MethodId,
+    vars: &mut HashMap<String, VarId>,
+    name: &str,
+) -> VarId {
+    if let Some(&v) = vars.get(name) {
+        return v;
+    }
+    let v = b.body(mid).var(name);
+    vars.insert(name.to_owned(), v);
+    v
+}
+
+/// Resolves a field by name across all classes. JIR field names are
+/// globally unique in practice (the workloads and figures use distinct
+/// names); on a tie the first declaration wins.
+fn field_by_name(b: &ProgramBuilder, name: &str, line: usize) -> Result<FieldId, JirError> {
+    b.find_field_by_name(name).ok_or_else(|| JirError::Unresolved {
+        line,
+        name: name.to_owned(),
+    })
+}
+
+fn exact_method(
+    b: &ProgramBuilder,
+    cname: &str,
+    mname: &str,
+    arity: usize,
+    line: usize,
+) -> Result<MethodId, JirError> {
+    let cid = b.class_by_name(cname).ok_or_else(|| JirError::Unresolved {
+        line,
+        name: cname.to_owned(),
+    })?;
+    b.find_method(cid, mname, arity).ok_or_else(|| JirError::Unresolved {
+        line,
+        name: format!("{cname}::{mname}/{arity}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_tracks_lines_and_comments() {
+        let toks = lex("a // comment\nb");
+        assert_eq!(
+            toks,
+            vec![
+                (1, Tok::Ident("a".to_owned())),
+                (2, Tok::Ident("b".to_owned()))
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_empty_class_inline() {
+        let p = parse("class P { } class Main { entry static method main() { x = new P; return; } }")
+            .unwrap();
+        assert_eq!(p.class_count(), 3); // Object + P + Main
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = parse("class A {\n  bogus;\n}").unwrap_err();
+        match err {
+            JirError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_all_statement_forms() {
+        let p = parse(
+            "class A {
+               field f: A;
+               static field s: A;
+               method m(this, v) { return v; }
+               static method st(v) { return v; }
+               entry static method main() {
+                 x = new A;
+                 arr = new A[];
+                 y = x;
+                 x.f = y;
+                 z = x.f;
+                 A.s = x;
+                 w = A.s;
+                 arr[*] = x;
+                 e = arr[*];
+                 c = (A) e;
+                 r1 = virt x.m(y);
+                 r2 = special x.A::m(y);
+                 r3 = call A::st(x);
+                 virt x.m(y);
+                 return;
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.alloc_count(), 2);
+        assert_eq!(p.call_site_count(), 4);
+        assert_eq!(p.cast_count(), 1);
+    }
+
+    #[test]
+    fn roundtrip_print_and_reparse() {
+        let src = "class A {
+               field f: A;
+               method foo(this) { g = this.f; return g; }
+             }
+             class B extends A {
+               method foo(this) { return; }
+               entry static method main() {
+                 x = new B; x.f = x; virt x.foo(); return;
+               }
+             }";
+        let p1 = parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1.class_count(), p2.class_count());
+        assert_eq!(p1.alloc_count(), p2.alloc_count());
+        assert_eq!(p1.call_site_count(), p2.call_site_count());
+    }
+
+    #[test]
+    fn unresolved_class_errors() {
+        let err = parse("class A extends Missing { entry static method main() { return; } }")
+            .unwrap_err();
+        assert!(matches!(err, JirError::Unresolved { .. }));
+    }
+
+    #[test]
+    fn interfaces_and_abstract_methods() {
+        let p = parse(
+            "interface I { abstract method m(this); }
+             abstract class Base implements I { }
+             class Impl extends Base {
+               method m(this) { return; }
+               entry static method main() { x = new Impl; virt x.m(); return; }
+             }",
+        )
+        .unwrap();
+        let i = p.class_by_name("I").unwrap();
+        assert!(p.class(i).is_interface());
+        let base = p.class_by_name("Base").unwrap();
+        assert!(p.class(base).is_abstract());
+        let impl_ = p.class_by_name("Impl").unwrap();
+        assert!(p.is_subclass(impl_, i));
+    }
+}

@@ -1,0 +1,197 @@
+//! Pretty-printing of programs in the textual `.jir` syntax accepted by
+//! [`parse`].
+//!
+//! [`parse`]: crate::parse
+
+use std::fmt::{self, Write as _};
+
+use crate::ids::{ClassId, MethodId, VarId};
+use crate::program::{CallTarget, Program};
+use crate::stmt::{CallKind, Stmt};
+
+/// Writes the whole program in `.jir` syntax.
+pub(crate) fn write_program(p: &Program, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    for c in p.class_ids() {
+        if c == p.object_class() {
+            continue; // Object is implicit.
+        }
+        write_class(p, c, f)?;
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+fn write_class(p: &Program, c: ClassId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let cls = p.class(c);
+    if cls.is_interface() {
+        write!(f, "interface {}", cls.name())?;
+        if !cls.interfaces().is_empty() {
+            write!(f, " extends {}", join_classes(p, cls.interfaces()))?;
+        }
+    } else {
+        if cls.is_abstract() {
+            write!(f, "abstract ")?;
+        }
+        write!(f, "class {}", cls.name())?;
+        if let Some(sup) = cls.superclass() {
+            if sup != p.object_class() {
+                write!(f, " extends {}", p.class(sup).name())?;
+            }
+        }
+        if !cls.interfaces().is_empty() {
+            write!(f, " implements {}", join_classes(p, cls.interfaces()))?;
+        }
+    }
+    writeln!(f, " {{")?;
+    for &fid in cls.fields() {
+        let field = p.field(fid);
+        let kw = if field.is_static() { "static field" } else { "field" };
+        writeln!(f, "  {kw} {}: {};", field.name(), p.type_name(field.ty()))?;
+    }
+    for &m in cls.methods() {
+        write_method(p, m, f)?;
+    }
+    writeln!(f, "}}")
+}
+
+fn join_classes(p: &Program, cs: &[ClassId]) -> String {
+    let mut s = String::new();
+    for (i, &c) in cs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(p.class(c).name());
+    }
+    s
+}
+
+fn write_method(p: &Program, m: MethodId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let method = p.method(m);
+    let mut header = String::new();
+    if m == p.entry() {
+        header.push_str("entry ");
+    }
+    if method.is_static() {
+        header.push_str("static ");
+    }
+    if method.is_abstract() {
+        header.push_str("abstract ");
+    }
+    let _ = write!(header, "method {}(", method.name());
+    for (i, &v) in method.params().iter().enumerate() {
+        if i > 0 {
+            header.push_str(", ");
+        }
+        header.push_str(p.var(v).name());
+    }
+    header.push(')');
+    if method.is_abstract() {
+        return writeln!(f, "  {header};");
+    }
+    writeln!(f, "  {header} {{")?;
+    for stmt in method.body() {
+        writeln!(f, "    {};", fmt_stmt(p, stmt))?;
+    }
+    writeln!(f, "  }}")
+}
+
+fn v(p: &Program, var: VarId) -> String {
+    p.var(var).name().to_owned()
+}
+
+fn fmt_stmt(p: &Program, stmt: &Stmt) -> String {
+    match *stmt {
+        Stmt::New { lhs, site } => {
+            format!("{} = new {}", v(p, lhs), p.type_name(p.alloc(site).ty()))
+        }
+        Stmt::Assign { lhs, rhs } => format!("{} = {}", v(p, lhs), v(p, rhs)),
+        Stmt::Load { lhs, base, field } => {
+            if field == p.array_elem_field() {
+                format!("{} = {}[*]", v(p, lhs), v(p, base))
+            } else {
+                format!("{} = {}.{}", v(p, lhs), v(p, base), p.field(field).name())
+            }
+        }
+        Stmt::Store { base, field, rhs } => {
+            if field == p.array_elem_field() {
+                format!("{}[*] = {}", v(p, base), v(p, rhs))
+            } else {
+                format!("{}.{} = {}", v(p, base), p.field(field).name(), v(p, rhs))
+            }
+        }
+        Stmt::StaticLoad { lhs, field } => {
+            let cls = p.field(field).class().expect("static field has a class");
+            format!(
+                "{} = {}.{}",
+                v(p, lhs),
+                p.class(cls).name(),
+                p.field(field).name()
+            )
+        }
+        Stmt::StaticStore { field, rhs } => {
+            let cls = p.field(field).class().expect("static field has a class");
+            format!(
+                "{}.{} = {}",
+                p.class(cls).name(),
+                p.field(field).name(),
+                v(p, rhs)
+            )
+        }
+        Stmt::Cast { lhs, rhs, site } => {
+            format!(
+                "{} = ({}) {}",
+                v(p, lhs),
+                p.type_name(p.cast(site).target_ty()),
+                v(p, rhs)
+            )
+        }
+        Stmt::Call(site) => {
+            let cs = p.call_site(site);
+            let mut s = String::new();
+            if let Some(r) = cs.result() {
+                let _ = write!(s, "{} = ", v(p, r));
+            }
+            match (cs.kind(), cs.target()) {
+                (CallKind::Virtual { recv }, CallTarget::Signature { name, .. }) => {
+                    let _ = write!(s, "virt {}.{name}", v(p, *recv));
+                }
+                (CallKind::Special { recv }, CallTarget::Exact(m)) => {
+                    let callee = p.method(*m);
+                    let _ = write!(
+                        s,
+                        "special {}.{}::{}",
+                        v(p, *recv),
+                        p.class(callee.class()).name(),
+                        callee.name()
+                    );
+                }
+                (CallKind::Static, CallTarget::Exact(m)) => {
+                    let callee = p.method(*m);
+                    let _ = write!(
+                        s,
+                        "call {}::{}",
+                        p.class(callee.class()).name(),
+                        callee.name()
+                    );
+                }
+                // Unreachable for programs built through the public API.
+                (kind, target) => {
+                    let _ = write!(s, "?call {kind:?} {target:?}");
+                }
+            }
+            s.push('(');
+            for (i, &a) in cs.args().iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&v(p, a));
+            }
+            s.push(')');
+            s
+        }
+        Stmt::Return { value } => match value {
+            Some(var) => format!("return {}", v(p, var)),
+            None => "return".to_owned(),
+        },
+    }
+}

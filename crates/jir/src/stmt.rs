@@ -1,0 +1,104 @@
+//! Statements of the flow-insensitive JIR method body.
+//!
+//! JIR is deliberately small: it keeps exactly the statement kinds that a
+//! flow-insensitive, field-sensitive points-to analysis observes. Arithmetic,
+//! branching, and exceptions are irrelevant to points-to facts and are not
+//! represented; array reads/writes are modeled with a distinguished
+//! element pseudo-field (see [`Program::array_elem_field`]).
+//!
+//! [`Program::array_elem_field`]: crate::Program::array_elem_field
+
+use crate::ids::{AllocId, CallSiteId, CastId, FieldId, VarId};
+
+/// A single statement in a method body.
+///
+/// Variant fields are named after their role (`lhs`, `rhs`, `base`,
+/// `field`, `site`, `value`) and carry no further invariants.
+/// Statement order is preserved for printing and debugging but carries no
+/// semantic weight: the analyses in this workspace are flow-insensitive.
+#[allow(missing_docs)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stmt {
+    /// `lhs = new T()` — `site` records the allocated type.
+    New { lhs: VarId, site: AllocId },
+    /// `lhs = rhs` — a local move.
+    Assign { lhs: VarId, rhs: VarId },
+    /// `lhs = base.field` — an instance field load.
+    Load {
+        lhs: VarId,
+        base: VarId,
+        field: FieldId,
+    },
+    /// `base.field = rhs` — an instance field store.
+    Store {
+        base: VarId,
+        field: FieldId,
+        rhs: VarId,
+    },
+    /// `lhs = C.field` — a static field load.
+    StaticLoad { lhs: VarId, field: FieldId },
+    /// `C.field = rhs` — a static field store.
+    StaticStore { field: FieldId, rhs: VarId },
+    /// `lhs = (T) rhs` — a checked downcast; `site` records the target type.
+    Cast {
+        lhs: VarId,
+        rhs: VarId,
+        site: CastId,
+    },
+    /// A method invocation; all details live in the [`CallSite`] table.
+    ///
+    /// [`CallSite`]: crate::CallSite
+    Call(CallSiteId),
+    /// `return value` — `None` for `void` returns.
+    Return { value: Option<VarId> },
+}
+
+/// How a call site selects its target method.
+#[allow(missing_docs)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// `recv.m(...)` — dynamically dispatched on the runtime class of the
+    /// object `recv` points to.
+    Virtual { recv: VarId },
+    /// `super.m(...)` / constructor invocation — statically bound but still
+    /// passes a receiver.
+    Special { recv: VarId },
+    /// `C.m(...)` — statically bound, no receiver.
+    Static,
+}
+
+impl CallKind {
+    /// Returns the receiver variable, if this kind of call has one.
+    pub fn receiver(&self) -> Option<VarId> {
+        match *self {
+            CallKind::Virtual { recv } | CallKind::Special { recv } => Some(recv),
+            CallKind::Static => None,
+        }
+    }
+
+    /// Returns `true` for dynamically dispatched calls.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, CallKind::Virtual { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_kind_receiver() {
+        let v = VarId::from_usize(3);
+        assert_eq!(CallKind::Virtual { recv: v }.receiver(), Some(v));
+        assert_eq!(CallKind::Special { recv: v }.receiver(), Some(v));
+        assert_eq!(CallKind::Static.receiver(), None);
+    }
+
+    #[test]
+    fn call_kind_is_virtual() {
+        let v = VarId::from_usize(0);
+        assert!(CallKind::Virtual { recv: v }.is_virtual());
+        assert!(!CallKind::Special { recv: v }.is_virtual());
+        assert!(!CallKind::Static.is_virtual());
+    }
+}

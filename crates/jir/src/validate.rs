@@ -1,0 +1,131 @@
+//! Well-formedness checks run by [`ProgramBuilder::finish`].
+//!
+//! [`ProgramBuilder::finish`]: crate::ProgramBuilder::finish
+
+use crate::error::JirError;
+use crate::program::{Program, TypeKind};
+use crate::stmt::Stmt;
+use crate::{MethodId, VarId};
+
+/// Validates structural invariants of a program.
+///
+/// # Errors
+///
+/// Returns the first violation found:
+/// - the entry method must be static with no parameters;
+/// - interfaces may only declare abstract instance methods;
+/// - abstract methods must have empty bodies;
+/// - every variable used in a method body must belong to that method;
+/// - allocation sites must instantiate concrete classes or array types;
+/// - `extends`/`implements` edges must respect interface-ness.
+pub(crate) fn validate(program: &Program) -> Result<(), JirError> {
+    let entry = program.method(program.entry());
+    if !entry.is_static() || !entry.params().is_empty() {
+        return Err(JirError::BadEntry(entry.name().to_owned()));
+    }
+
+    for c in program.class_ids() {
+        let cls = program.class(c);
+        if let Some(sup) = cls.superclass() {
+            if program.class(sup).is_interface() {
+                return Err(JirError::BadSupertype {
+                    class: cls.name().to_owned(),
+                    supertype: program.class(sup).name().to_owned(),
+                });
+            }
+        }
+        for &i in cls.interfaces() {
+            if !program.class(i).is_interface() {
+                return Err(JirError::BadSupertype {
+                    class: cls.name().to_owned(),
+                    supertype: program.class(i).name().to_owned(),
+                });
+            }
+        }
+        for &m in cls.methods() {
+            let method = program.method(m);
+            if cls.is_interface() && !method.is_abstract() {
+                return Err(JirError::BadMethodShape {
+                    class: cls.name().to_owned(),
+                    method: method.name().to_owned(),
+                });
+            }
+            if method.is_abstract() && !method.body().is_empty() {
+                return Err(JirError::BadMethodShape {
+                    class: cls.name().to_owned(),
+                    method: method.name().to_owned(),
+                });
+            }
+        }
+    }
+
+    for m in program.method_ids() {
+        validate_body(program, m)?;
+    }
+    Ok(())
+}
+
+fn validate_body(program: &Program, m: MethodId) -> Result<(), JirError> {
+    let method = program.method(m);
+    let check_var = |v: VarId| -> Result<(), JirError> {
+        if program.var(v).method() != m {
+            return Err(JirError::ForeignVariable {
+                method: method.name().to_owned(),
+                var: program.var(v).name().to_owned(),
+            });
+        }
+        Ok(())
+    };
+    for stmt in method.body() {
+        match *stmt {
+            Stmt::New { lhs, site } => {
+                check_var(lhs)?;
+                let ty = program.alloc(site).ty();
+                if let TypeKind::Class(c) = program.ty(ty) {
+                    if program.class(c).is_abstract() {
+                        return Err(JirError::AbstractAllocation {
+                            method: method.name().to_owned(),
+                            ty: program.type_name(ty),
+                        });
+                    }
+                }
+            }
+            Stmt::Assign { lhs, rhs } => {
+                check_var(lhs)?;
+                check_var(rhs)?;
+            }
+            Stmt::Load { lhs, base, .. } => {
+                check_var(lhs)?;
+                check_var(base)?;
+            }
+            Stmt::Store { base, rhs, .. } => {
+                check_var(base)?;
+                check_var(rhs)?;
+            }
+            Stmt::StaticLoad { lhs, .. } => check_var(lhs)?,
+            Stmt::StaticStore { rhs, .. } => check_var(rhs)?,
+            Stmt::Cast { lhs, rhs, .. } => {
+                check_var(lhs)?;
+                check_var(rhs)?;
+            }
+            Stmt::Call(site) => {
+                let cs = program.call_site(site);
+                if let Some(r) = cs.result() {
+                    check_var(r)?;
+                }
+                if let Some(recv) = cs.kind().receiver() {
+                    check_var(recv)?;
+                }
+                for &a in cs.args() {
+                    check_var(a)?;
+                }
+            }
+            Stmt::Return { value } => {
+                if let Some(v) = value {
+                    check_var(v)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! Parser/printer roundtrip and hierarchy-query tests for JIR.
+
+use jir::{JirError, ProgramBuilder};
+use proptest::prelude::*;
+
+/// Builds a random (but always valid) program through the builder API:
+/// a hierarchy of classes, fields, and straight-line method bodies.
+fn arb_program() -> impl Strategy<Value = jir::Program> {
+    // (class shape choices, per-method statement choices)
+    let classes = prop::collection::vec((0usize..3, any::<bool>()), 1..6);
+    let stmts = prop::collection::vec((0u8..6, 0usize..8, 0usize..8), 0..20);
+    (classes, stmts).prop_map(|(class_specs, stmt_specs)| {
+        let mut b = ProgramBuilder::new();
+        let object = b.object_class();
+        let mut classes = vec![object];
+        let mut fields = Vec::new();
+        for (i, &(super_pick, with_field)) in class_specs.iter().enumerate() {
+            let superclass = classes[super_pick % classes.len()];
+            let c = b
+                .declare_class(&format!("C{i}"), Some(superclass))
+                .expect("unique names");
+            if with_field {
+                let ty = b.class_type(c);
+                fields.push(b.declare_field(c, &format!("f{i}"), ty).expect("unique"));
+            }
+            let m = b.declare_method(c, "m", 0).expect("unique");
+            let mut body = b.body(m);
+            body.ret(None);
+            classes.push(c);
+        }
+        // A main that exercises random statements over fresh locals.
+        let main_cls = b.declare_class("Main", Some(object)).expect("unique");
+        let main = b.declare_static_method(main_cls, "main", 0).expect("unique");
+        b.set_entry(main);
+        {
+            let concrete: Vec<jir::ClassId> = classes[1..].to_vec();
+            let mut body = b.body(main);
+            let mut vars = Vec::new();
+            // Seed a variable so later statements have operands.
+            let v0 = body.var("v0");
+            if let Some(&c) = concrete.first() {
+                body.new_object(v0, c);
+            }
+            vars.push(v0);
+            for (k, &(kind, a, bsel)) in stmt_specs.iter().enumerate() {
+                let va = vars[a % vars.len()];
+                let vb = vars[bsel % vars.len()];
+                match kind {
+                    0 if !concrete.is_empty() => {
+                        let v = body.var(&format!("v{}", k + 1));
+                        body.new_object(v, concrete[a % concrete.len()]);
+                        vars.push(v);
+                    }
+                    1 => body.assign(va, vb),
+                    2 if !fields.is_empty() => {
+                        body.store(va, fields[a % fields.len()], vb);
+                    }
+                    3 if !fields.is_empty() => {
+                        let v = body.var(&format!("v{}", k + 1));
+                        body.load(v, va, fields[a % fields.len()]);
+                        vars.push(v);
+                    }
+                    4 => {
+                        body.virtual_call(None, va, "m", &[]);
+                    }
+                    _ => {
+                        let v = body.var(&format!("v{}", k + 1));
+                        body.array_load(v, va);
+                        vars.push(v);
+                    }
+                }
+            }
+            body.ret(None);
+        }
+        b.finish().expect("generated program is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Print → parse preserves all entity counts and the analysis-visible
+    /// structure.
+    #[test]
+    fn printed_program_reparses(p in arb_program()) {
+        let text = p.to_string();
+        let q = jir::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(p.class_count(), q.class_count());
+        prop_assert_eq!(p.alloc_count(), q.alloc_count());
+        prop_assert_eq!(p.call_site_count(), q.call_site_count());
+        prop_assert_eq!(p.cast_count(), q.cast_count());
+        prop_assert_eq!(p.field_count(), q.field_count());
+        prop_assert_eq!(p.method_count(), q.method_count());
+        // Printing is idempotent modulo the first roundtrip.
+        prop_assert_eq!(q.to_string(), jir::parse(&q.to_string()).unwrap().to_string());
+    }
+
+    /// Subtyping is reflexive and transitive, and dispatch respects it:
+    /// the dispatched method is declared by an ancestor.
+    #[test]
+    fn hierarchy_queries_are_consistent(p in arb_program()) {
+        for c in p.class_ids() {
+            prop_assert!(p.is_subclass(c, c));
+            prop_assert!(p.is_subclass(c, p.object_class()));
+            let ty = p.class(c).ty();
+            prop_assert!(p.is_subtype(ty, ty));
+            if !p.class(c).is_abstract() {
+                if let Some(target) = p.dispatch(ty, "m", 0) {
+                    let decl = p.method(target).class();
+                    prop_assert!(p.is_subclass(c, decl), "dispatch target is an ancestor");
+                }
+            }
+        }
+        // Transitivity over sampled triples.
+        let n = p.class_count();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    let (a, b, c) = (
+                        jir::ClassId::from_usize(i),
+                        jir::ClassId::from_usize(j),
+                        jir::ClassId::from_usize(k),
+                    );
+                    if p.is_subclass(a, b) && p.is_subclass(b, c) {
+                        prop_assert!(p.is_subclass(a, c));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_class_is_rejected() {
+    let mut b = ProgramBuilder::new();
+    b.declare_class("A", None).unwrap();
+    assert!(matches!(
+        b.declare_class("A", None),
+        Err(JirError::DuplicateClass(_))
+    ));
+}
+
+#[test]
+fn entry_must_be_static_and_nullary() {
+    let mut b = ProgramBuilder::new();
+    let a = b.declare_class("A", None).unwrap();
+    let m = b.declare_method(a, "main", 0).unwrap(); // instance method
+    {
+        let mut body = b.body(m);
+        body.ret(None);
+    }
+    b.set_entry(m);
+    assert!(matches!(b.finish(), Err(JirError::BadEntry(_))));
+}
+
+#[test]
+fn abstract_allocation_is_rejected() {
+    let err = jir::parse(
+        "abstract class A { }
+         class Main { entry static method main() { x = new A; return; } }",
+    )
+    .unwrap_err();
+    assert!(matches!(err, JirError::AbstractAllocation { .. }));
+}
+
+#[test]
+fn interface_cannot_be_extended_by_class_syntax() {
+    let err = jir::parse(
+        "interface I { }
+         class A extends I { }
+         class Main { entry static method main() { return; } }",
+    )
+    .unwrap_err();
+    assert!(matches!(err, JirError::BadSupertype { .. }));
+}
+
+#[test]
+fn array_types_are_covariant() {
+    let p = jir::parse(
+        "class A { }
+         class B extends A {
+           entry static method main() { x = new B[]; return; }
+         }",
+    )
+    .unwrap();
+    let a = p.class_by_name("A").unwrap();
+    let b = p.class_by_name("B").unwrap();
+    // Recover the array types through the program's type table.
+    let b_arr = (0..p.type_count())
+        .map(jir::TypeId::from_usize)
+        .find(|&t| p.type_name(t) == "B[]")
+        .expect("B[] exists");
+    assert!(p.is_subtype(b_arr, p.class(p.object_class()).ty()));
+    let _ = (a, b);
+}

@@ -1,0 +1,288 @@
+//! NFA construction (Algorithm 2) and DFA conversion with the
+//! single-type check (Algorithm 3 + the SINGLETYPE-CHECK of
+//! Algorithm 1), computed directly over the shared FPG.
+//!
+//! The paper's "Shared Sequential Automata" optimization (Section 5)
+//! observes that the per-object NFAs are all fragments of one structure:
+//! the FPG itself. We therefore never materialize per-object NFAs in the
+//! hot path — subset construction runs straight over FPG adjacency — and
+//! keep [`nfa_for_root`] only as an explicit-materialization reference
+//! used by tests to cross-validate [`dfa_for_root`].
+
+use std::collections::HashMap;
+
+use automata::{Dfa, DfaPartsBuilder, Nfa, NfaBuilder, Output, Symbol};
+use jir::AllocId;
+
+use crate::fpg::{FieldPointsToGraph, FpgNode, NodeType};
+
+/// The output symbol used for the dummy null node (`TYPEOF` returns a
+/// special type for `o_null`, Algorithm 1).
+pub const NULL_OUTPUT: Output = Output(u32::MAX);
+
+/// Maps a node's type to an automaton output symbol.
+pub fn output_of(fpg: &FieldPointsToGraph, node: FpgNode) -> Output {
+    match fpg.node_type(node) {
+        NodeType::Type(t) => Output(t.as_u32()),
+        NodeType::Null => NULL_OUTPUT,
+    }
+}
+
+/// Materializes the 6-tuple NFA rooted at `root` (paper Algorithm 2,
+/// Figure 4): states are the FPG nodes reachable from `root`, input
+/// symbols are field ids, outputs are types.
+///
+/// Reference implementation — the pipeline uses [`dfa_for_root`], which
+/// skips this materialization.
+pub fn nfa_for_root(fpg: &FieldPointsToGraph, root: AllocId) -> Nfa {
+    let nodes = fpg.reachable_from(FpgNode::Alloc(root));
+    let mut builder = NfaBuilder::new();
+    let mut state_of: HashMap<FpgNode, automata::StateId> = HashMap::new();
+    for &node in &nodes {
+        let s = builder.add_state(output_of(fpg, node));
+        state_of.insert(node, s);
+    }
+    for &node in &nodes {
+        let from = state_of[&node];
+        for &(field, to) in fpg.edges_of(node) {
+            builder.add_transition(from, Symbol(field.as_u32()), state_of[&to]);
+        }
+        // The null node is a terminal sink here. The paper gives it a
+        // self-loop on every field; under the single-type invariant the
+        // two conventions induce the same equivalence relation, because
+        // a state containing the null node is exactly {null} in both
+        // compared automata, so words extending past it are treated
+        // identically (both loop, or both reject).
+    }
+    builder.finish(state_of[&FpgNode::Alloc(root)])
+}
+
+/// The result of building the DFA for one object.
+#[derive(Clone, Debug)]
+pub enum RootAutomaton {
+    /// The object fails SINGLETYPE-CHECK (some field path reaches
+    /// objects of two or more types — Condition 2 of Definition 2.1);
+    /// it can never merge.
+    NotSingleType,
+    /// The object's deterministic automaton; every state is
+    /// type-homogeneous.
+    Dfa(Dfa),
+}
+
+/// Statistics of one DFA construction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildStats {
+    /// NFA states (reachable FPG nodes).
+    pub nfa_states: usize,
+    /// DFA states constructed before finishing or bailing.
+    pub dfa_states: usize,
+}
+
+/// Subset construction from `root` over the shared FPG (Algorithm 3)
+/// fused with SINGLETYPE-CHECK (Algorithm 1, lines 6–7): bails out as
+/// soon as a constructed state mixes two output types.
+///
+/// When `enforce_single_type` is `false` (the Condition-2 ablation),
+/// construction always completes and states may carry output sets.
+pub fn dfa_for_root(
+    fpg: &FieldPointsToGraph,
+    root: AllocId,
+    enforce_single_type: bool,
+) -> (RootAutomaton, BuildStats) {
+    let mut stats = BuildStats {
+        nfa_states: fpg.reachable_from(FpgNode::Alloc(root)).len(),
+        ..BuildStats::default()
+    };
+
+    let mut builder = DfaPartsBuilder::default();
+    let mut index_of: HashMap<Vec<FpgNode>, automata::StateId> = HashMap::new();
+
+    let start_set = vec![FpgNode::Alloc(root)];
+    let start_outputs = outputs_of_set(fpg, &start_set);
+    let start = builder.add_state(start_outputs);
+    index_of.insert(start_set.clone(), start);
+    let mut worklist = vec![(start, start_set)];
+    stats.dfa_states = 1;
+
+    while let Some((dq, set)) = worklist.pop() {
+        // Union of the member nodes' outgoing fields. Under the
+        // single-type invariant this matches the paper's "pick any
+        // object and use its fields" specialization.
+        let mut fields: Vec<jir::FieldId> = Vec::new();
+        for &node in &set {
+            fields.extend(fpg.fields_of(node));
+        }
+        // Null self-loops: if null is a member, it follows every field
+        // the other members follow (and nothing more matters, because a
+        // field no member defines leads to q_error anyway — a set whose
+        // only member is null keeps looping on the fields that got us
+        // there; we conservatively use the union of fields present).
+        fields.sort_unstable();
+        fields.dedup();
+        for field in fields {
+            let mut next: Vec<FpgNode> = Vec::new();
+            for &node in &set {
+                next.extend(fpg.successors(node, field));
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                continue;
+            }
+            let target = match index_of.get(&next) {
+                Some(&t) => t,
+                None => {
+                    let outputs = outputs_of_set(fpg, &next);
+                    if enforce_single_type && outputs.len() > 1 {
+                        return (RootAutomaton::NotSingleType, stats);
+                    }
+                    let t = builder.add_state(outputs);
+                    stats.dfa_states += 1;
+                    index_of.insert(next.clone(), t);
+                    worklist.push((t, next));
+                    t
+                }
+            };
+            builder.add_transition(dq, Symbol(field.as_u32()), target);
+        }
+    }
+    (RootAutomaton::Dfa(builder.finish(start)), stats)
+}
+
+fn outputs_of_set(fpg: &FieldPointsToGraph, set: &[FpgNode]) -> Vec<Output> {
+    let mut outs: Vec<Output> = set.iter().map(|&n| output_of(fpg, n)).collect();
+    outs.sort_unstable();
+    outs.dedup();
+    outs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpg::FpgBuilder;
+
+    /// The paper's Figure 2: two T-rooted graphs that are
+    /// type-consistent.
+    fn figure2() -> (FieldPointsToGraph, AllocId, AllocId) {
+        let mut b = FpgBuilder::new();
+        let t = b.ty("T");
+        let u = b.ty("U");
+        let x = b.ty("X");
+        let y = b.ty("Y");
+        let (f, g, h, k) = (b.field("f"), b.field("g"), b.field("h"), b.field("k"));
+
+        // o1: T with f->U{h->Y,h->Y'}, g->X{k->Y}
+        let o1 = b.alloc(t);
+        let o3 = b.alloc(u);
+        let o5 = b.alloc(x);
+        let o7 = b.alloc(y);
+        let o9 = b.alloc(y);
+        let o11 = b.alloc(y);
+        b.edge(o1, f, o3);
+        b.edge(o1, g, o5);
+        b.edge(o3, h, o7);
+        b.edge(o3, h, o9);
+        b.edge(o5, k, o11);
+
+        // o2: T with f->U{h->Y}, g->X{k->Y}
+        let o2 = b.alloc(t);
+        let o4 = b.alloc(u);
+        let o6 = b.alloc(x);
+        let o8 = b.alloc(y);
+        b.edge(o2, f, o4);
+        b.edge(o2, g, o6);
+        b.edge(o4, h, o8);
+        b.edge(o6, k, o8);
+
+        (b.finish(), o1, o2)
+    }
+
+    #[test]
+    fn figure2_roots_have_equivalent_dfas() {
+        let (fpg, o1, o2) = figure2();
+        let (a1, s1) = dfa_for_root(&fpg, o1, true);
+        let (a2, s2) = dfa_for_root(&fpg, o2, true);
+        let (RootAutomaton::Dfa(d1), RootAutomaton::Dfa(d2)) = (a1, a2) else {
+            panic!("both roots are single-type");
+        };
+        assert!(d1.equivalent(&d2), "o1 ≡ o2 (paper Example 2.6)");
+        assert_eq!(s1.nfa_states, 6); // o1, o3, o5, o7, o9, o11
+        assert_eq!(s2.nfa_states, 4); // o2, o4, o6, o8
+    }
+
+    #[test]
+    fn dfa_matches_materialized_nfa() {
+        let (fpg, o1, o2) = figure2();
+        for root in [o1, o2] {
+            let (auto, _) = dfa_for_root(&fpg, root, true);
+            let RootAutomaton::Dfa(direct) = auto else {
+                panic!("single-type")
+            };
+            let via_nfa = nfa_for_root(&fpg, root).to_dfa();
+            assert!(direct.equivalent(&via_nfa), "shared-FPG construction agrees");
+        }
+    }
+
+    #[test]
+    fn mixed_type_field_fails_single_type_check() {
+        let mut b = FpgBuilder::new();
+        let t = b.ty("T");
+        let x = b.ty("X");
+        let y = b.ty("Y");
+        let f = b.field("f");
+        let o = b.alloc(t);
+        let ox = b.alloc(x);
+        let oy = b.alloc(y);
+        b.edge(o, f, ox);
+        b.edge(o, f, oy);
+        let fpg = b.finish();
+        let (auto, _) = dfa_for_root(&fpg, o, true);
+        assert!(matches!(auto, RootAutomaton::NotSingleType));
+        // Without Condition 2 the DFA completes with an output set.
+        let (auto, _) = dfa_for_root(&fpg, o, false);
+        let RootAutomaton::Dfa(d) = auto else { panic!() };
+        assert!(!d.is_single_output());
+    }
+
+    #[test]
+    fn null_edges_distinguish_uninitialized_objects() {
+        // Table 1 rows 3/6: same type, one with a real field target, one
+        // with a null field.
+        let mut b = FpgBuilder::new();
+        let t = b.ty("ASTPair");
+        let d = b.ty("DetailAST");
+        let f = b.field("child");
+        let o1 = b.alloc(t);
+        let o2 = b.alloc(t);
+        let od = b.alloc(d);
+        b.edge(o1, f, od);
+        b.null_edge(o2, f);
+        let fpg = b.finish();
+        let (a1, _) = dfa_for_root(&fpg, o1, true);
+        let (a2, _) = dfa_for_root(&fpg, o2, true);
+        let (RootAutomaton::Dfa(d1), RootAutomaton::Dfa(d2)) = (a1, a2) else {
+            panic!()
+        };
+        assert!(!d1.equivalent(&d2), "null-field object must stay separate");
+    }
+
+    #[test]
+    fn cyclic_fpg_builds_finite_dfa() {
+        let mut b = FpgBuilder::new();
+        let t = b.ty("Node");
+        let f = b.field("next");
+        let o1 = b.alloc(t);
+        let o2 = b.alloc(t);
+        b.edge(o1, f, o2);
+        b.edge(o2, f, o1);
+        let fpg = b.finish();
+        let (auto, stats) = dfa_for_root(&fpg, o1, true);
+        let RootAutomaton::Dfa(d) = auto else { panic!() };
+        assert!(stats.dfa_states <= 3);
+        // A self-loop-equivalent list: o1 ≡ o2.
+        let (RootAutomaton::Dfa(d2), _) = dfa_for_root(&fpg, o2, true) else {
+            panic!()
+        };
+        assert!(d.equivalent(&d2));
+    }
+}

@@ -1,0 +1,434 @@
+//! The Mahjong main algorithm (paper Algorithm 1): merging
+//! type-consistent objects with a disjoint-set forest, and the
+//! synchronization-free parallel driver of Section 5.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use automata::Dfa;
+use dsu::DisjointSets;
+use jir::AllocId;
+use pta::MergedObjectMap;
+
+use crate::build::{dfa_for_root, RootAutomaton};
+use crate::fpg::{FieldPointsToGraph, FpgNode, NodeType};
+
+/// Which member of an equivalence class becomes its representative.
+///
+/// The paper notes (Example 3.2 / Figure 7) that under type-sensitivity
+/// the representative choice can change precision; the engine picks
+/// deterministically so experiments are reproducible.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Representative {
+    /// The class member with the smallest allocation-site id (default).
+    #[default]
+    Smallest,
+    /// The class member with the largest allocation-site id — used by
+    /// the Figure 7 experiment to demonstrate representative-dependence
+    /// of M-ktype.
+    Largest,
+}
+
+/// Configuration of the Mahjong pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct MahjongConfig {
+    /// Worker threads for the type-consistency checks (1 = sequential).
+    pub threads: usize,
+    /// Enforce Condition 2 of Definition 2.1 (SINGLETYPE-CHECK). The
+    /// `false` setting is the ablation of paper Figure 3 / Example 2.4.
+    pub enforce_condition2: bool,
+    /// Model never-assigned fields as pointing to the dummy null node.
+    pub model_null: bool,
+    /// Representative choice per equivalence class.
+    pub representative: Representative,
+}
+
+impl Default for MahjongConfig {
+    fn default() -> Self {
+        MahjongConfig {
+            threads: 1,
+            enforce_condition2: true,
+            model_null: true,
+            representative: Representative::Smallest,
+        }
+    }
+}
+
+/// Statistics of one Mahjong run (the paper reports these in
+/// Section 6.1).
+#[derive(Clone, Debug, Default)]
+pub struct MahjongStats {
+    /// Time spent building per-object DFAs.
+    pub dfa_time: Duration,
+    /// Time spent on pairwise equivalence checks and unioning.
+    pub merge_time: Duration,
+    /// Objects (present allocation sites) examined.
+    pub objects: usize,
+    /// Abstract objects after merging (equivalence classes over present
+    /// objects).
+    pub merged_objects: usize,
+    /// Objects failing SINGLETYPE-CHECK.
+    pub not_single_type: usize,
+    /// Equivalence tests performed.
+    pub equivalence_checks: u64,
+    /// Average NFA size (reachable FPG nodes per object).
+    pub avg_nfa_states: f64,
+    /// Largest NFA (reachable FPG nodes).
+    pub max_nfa_states: usize,
+}
+
+/// The output of the Mahjong pipeline: the merged object map plus run
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct MahjongOutput {
+    /// The new heap abstraction (paper Definition 2.2), ready to drive a
+    /// [`pta::Analysis`].
+    pub mom: MergedObjectMap,
+    /// Run statistics.
+    pub stats: MahjongStats,
+}
+
+/// Runs Algorithm 1 over an FPG: groups objects by type, builds their
+/// automata, and merges type-consistent ones.
+pub fn merge_equivalent_objects(fpg: &FieldPointsToGraph, config: &MahjongConfig) -> MahjongOutput {
+    let n = fpg.alloc_count();
+    let mut stats = MahjongStats::default();
+
+    // Group present objects by exact type (TYPEOF guard, Algorithm 1
+    // line 5). Singleton groups can never merge, so skip their DFAs.
+    let mut groups: HashMap<jir::TypeId, Vec<AllocId>> = HashMap::new();
+    for alloc in fpg.present_allocs() {
+        stats.objects += 1;
+        if let NodeType::Type(ty) = fpg.node_type(FpgNode::Alloc(alloc)) {
+            groups.entry(ty).or_default().push(alloc);
+        }
+    }
+    let groups: Vec<Vec<AllocId>> = groups
+        .into_values()
+        .filter(|members| members.len() > 1)
+        .collect();
+
+    // Phase 1: build all shared automata beforehand (Section 5), in
+    // parallel when configured.
+    let dfa_start = Instant::now();
+    let candidates: Vec<AllocId> = groups.iter().flatten().copied().collect();
+    let automata = build_automata(fpg, &candidates, config);
+    stats.dfa_time = dfa_start.elapsed();
+    let mut nfa_total = 0usize;
+    for info in automata.values() {
+        nfa_total += info.nfa_states;
+        stats.max_nfa_states = stats.max_nfa_states.max(info.nfa_states);
+        if matches!(info.automaton, RootAutomaton::NotSingleType) {
+            stats.not_single_type += 1;
+        }
+    }
+    if !automata.is_empty() {
+        stats.avg_nfa_states = nfa_total as f64 / automata.len() as f64;
+    }
+
+    // Phase 2: per-type merging. Threads own disjoint type groups, so no
+    // synchronization is needed; each emits union pairs applied below.
+    let merge_start = Instant::now();
+    let (pairs, checks) = if config.threads > 1 {
+        merge_parallel(&groups, &automata, config.threads)
+    } else {
+        merge_groups(&groups, &automata)
+    };
+    stats.equivalence_checks = checks;
+
+    // Phase 3: the merged object map (Algorithm 1, lines 14–16), with a
+    // deterministic representative per class.
+    let mut sets = DisjointSets::new(n);
+    for (a, b) in pairs {
+        sets.union(a.index(), b.index());
+    }
+    let mut repr = vec![AllocId::from_usize(0); n];
+    for class in sets.classes() {
+        let chosen = match config.representative {
+            Representative::Smallest => *class.first().expect("non-empty class"),
+            Representative::Largest => *class.last().expect("non-empty class"),
+        };
+        for member in class {
+            repr[member] = AllocId::from_usize(chosen);
+        }
+    }
+    let mom = MergedObjectMap::new(repr);
+    stats.merge_time = merge_start.elapsed();
+    stats.merged_objects = {
+        let mut reprs: Vec<AllocId> = fpg
+            .present_allocs()
+            .map(|a| pta::HeapAbstraction::repr(&mom, a))
+            .collect();
+        reprs.sort_unstable();
+        reprs.dedup();
+        reprs.len()
+    };
+    MahjongOutput { mom, stats }
+}
+
+/// Per-object automaton info.
+struct RootInfo {
+    automaton: RootAutomaton,
+    nfa_states: usize,
+}
+
+fn build_automata(
+    fpg: &FieldPointsToGraph,
+    candidates: &[AllocId],
+    config: &MahjongConfig,
+) -> HashMap<AllocId, RootInfo> {
+    let build_one = |&alloc: &AllocId| {
+        let (automaton, bstats) = dfa_for_root(fpg, alloc, config.enforce_condition2);
+        (
+            alloc,
+            RootInfo {
+                automaton,
+                nfa_states: bstats.nfa_states,
+            },
+        )
+    };
+    if config.threads <= 1 || candidates.len() < 64 {
+        return candidates.iter().map(build_one).collect();
+    }
+    let chunk = candidates.len().div_ceil(config.threads);
+    let mut out = HashMap::with_capacity(candidates.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = candidates
+            .chunks(chunk)
+            .map(|part| scope.spawn(move |_| part.iter().map(build_one).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("automata worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out
+}
+
+/// Merges within each type group: every object is compared against the
+/// current class representatives of its group; transitivity of ≡ makes
+/// one match sufficient.
+fn merge_groups(
+    groups: &[Vec<AllocId>],
+    automata: &HashMap<AllocId, RootInfo>,
+) -> (Vec<(AllocId, AllocId)>, u64) {
+    let mut pairs = Vec::new();
+    let mut checks = 0u64;
+    for group in groups {
+        let mut reps: Vec<(AllocId, &Dfa)> = Vec::new();
+        for &alloc in group {
+            let RootAutomaton::Dfa(dfa) = &automata[&alloc].automaton else {
+                continue; // fails SINGLETYPE-CHECK: never mergeable
+            };
+            let mut merged = false;
+            for &(rep, rep_dfa) in &reps {
+                checks += 1;
+                if dfa.equivalent(rep_dfa) {
+                    pairs.push((rep, alloc));
+                    merged = true;
+                    break;
+                }
+            }
+            if !merged {
+                reps.push((alloc, dfa));
+            }
+        }
+    }
+    (pairs, checks)
+}
+
+/// The synchronization-free parallel scheme of Section 5: different
+/// threads merge objects of different types, reading the pre-built
+/// automata concurrently and writing only thread-local union lists.
+fn merge_parallel(
+    groups: &[Vec<AllocId>],
+    automata: &HashMap<AllocId, RootInfo>,
+    threads: usize,
+) -> (Vec<(AllocId, AllocId)>, u64) {
+    // Round-robin groups by descending size for rough load balance.
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(groups[i].len()));
+    let mut assignment: Vec<Vec<&Vec<AllocId>>> = vec![Vec::new(); threads];
+    for (i, &g) in order.iter().enumerate() {
+        assignment[i % threads].push(&groups[g]);
+    }
+
+    let mut pairs = Vec::new();
+    let mut checks = 0u64;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = assignment
+            .into_iter()
+            .map(|my_groups| {
+                scope.spawn(move |_| {
+                    let owned: Vec<Vec<AllocId>> =
+                        my_groups.into_iter().cloned().collect();
+                    merge_groups(&owned, automata)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (p, c) = h.join().expect("merge worker panicked");
+            pairs.extend(p);
+            checks += c;
+        }
+    })
+    .expect("crossbeam scope");
+    (pairs, checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpg::FpgBuilder;
+
+    /// Figure 1's FPG: three A roots (one holding a B, two holding Cs),
+    /// plus the stored B/C objects themselves.
+    fn figure1_fpg() -> FieldPointsToGraph {
+        let mut b = FpgBuilder::new();
+        let a = b.ty("A");
+        let bb = b.ty("B");
+        let c = b.ty("C");
+        let f = b.field("f");
+        let o1 = b.alloc(a);
+        let o2 = b.alloc(a);
+        let o3 = b.alloc(a);
+        let o4 = b.alloc(bb);
+        let o5 = b.alloc(c);
+        let o6 = b.alloc(c);
+        b.edge(o1, f, o4);
+        b.edge(o2, f, o5);
+        b.edge(o3, f, o6);
+        b.finish()
+    }
+
+    #[test]
+    fn figure1_merges_two_classes() {
+        let out = merge_equivalent_objects(&figure1_fpg(), &MahjongConfig::default());
+        assert_eq!(out.stats.objects, 6);
+        assert_eq!(out.stats.merged_objects, 4);
+        let sizes: Vec<usize> = out
+            .mom
+            .classes()
+            .iter()
+            .map(Vec::len)
+            .filter(|&s| s > 1)
+            .collect();
+        assert_eq!(sizes, vec![2, 2], "{{o2,o3}} and {{o5,o6}}");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_figure1() {
+        let fpg = figure1_fpg();
+        let seq = merge_equivalent_objects(&fpg, &MahjongConfig::default());
+        let par = merge_equivalent_objects(
+            &fpg,
+            &MahjongConfig {
+                threads: 4,
+                ..MahjongConfig::default()
+            },
+        );
+        assert_eq!(seq.mom, par.mom);
+    }
+
+    #[test]
+    fn representative_choice_is_deterministic() {
+        let fpg = figure1_fpg();
+        let small = merge_equivalent_objects(&fpg, &MahjongConfig::default());
+        let large = merge_equivalent_objects(
+            &fpg,
+            &MahjongConfig {
+                representative: Representative::Largest,
+                ..MahjongConfig::default()
+            },
+        );
+        use pta::HeapAbstraction;
+        // {o2, o3}: smallest picks o2, largest picks o3.
+        let o2 = AllocId::from_usize(1);
+        let o3 = AllocId::from_usize(2);
+        assert_eq!(small.mom.repr(o3), o2);
+        assert_eq!(large.mom.repr(o2), o3);
+    }
+
+    #[test]
+    fn singleton_type_groups_are_skipped_entirely() {
+        // One object per type: nothing to compare, zero checks.
+        let mut b = FpgBuilder::new();
+        let t1 = b.ty("T1");
+        let t2 = b.ty("T2");
+        b.alloc(t1);
+        b.alloc(t2);
+        let out = merge_equivalent_objects(&b.finish(), &MahjongConfig::default());
+        assert_eq!(out.stats.equivalence_checks, 0);
+        assert_eq!(out.stats.merged_objects, 2);
+    }
+
+    #[test]
+    fn transitive_merging_uses_one_representative_comparison() {
+        // Ten identical leaf objects: each new object is compared only
+        // against the single existing representative — 9 checks, not 45.
+        let mut b = FpgBuilder::new();
+        let t = b.ty("T");
+        for _ in 0..10 {
+            b.alloc(t);
+        }
+        let out = merge_equivalent_objects(&b.finish(), &MahjongConfig::default());
+        assert_eq!(out.stats.merged_objects, 1);
+        assert_eq!(out.stats.equivalence_checks, 9);
+    }
+
+    #[test]
+    fn condition2_failures_are_counted_and_never_merge() {
+        let mut b = FpgBuilder::new();
+        let t = b.ty("T");
+        let x = b.ty("X");
+        let y = b.ty("Y");
+        let f = b.field("f");
+        // Two T objects, each with a mixed-type field; and one clean pair.
+        let bad1 = b.alloc(t);
+        let bad2 = b.alloc(t);
+        let ox = b.alloc(x);
+        let oy = b.alloc(y);
+        for bad in [bad1, bad2] {
+            b.edge(bad, f, ox);
+            b.edge(bad, f, oy);
+        }
+        let out = merge_equivalent_objects(&b.finish(), &MahjongConfig::default());
+        assert_eq!(out.stats.not_single_type, 2);
+        use pta::HeapAbstraction;
+        assert_ne!(out.mom.repr(bad1), out.mom.repr(bad2));
+        // Without Condition 2 they do merge.
+        let loose = merge_equivalent_objects(
+            &figure3_like(),
+            &MahjongConfig {
+                enforce_condition2: false,
+                ..MahjongConfig::default()
+            },
+        );
+        assert!(loose.stats.merged_objects < loose.stats.objects);
+    }
+
+    fn figure3_like() -> FieldPointsToGraph {
+        let mut b = FpgBuilder::new();
+        let t = b.ty("T");
+        let x = b.ty("X");
+        let y = b.ty("Y");
+        let f = b.field("f");
+        let t1 = b.alloc(t);
+        let t2 = b.alloc(t);
+        let ox = b.alloc(x);
+        let oy = b.alloc(y);
+        for tt in [t1, t2] {
+            b.edge(tt, f, ox);
+            b.edge(tt, f, oy);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn nfa_stats_are_collected() {
+        let out = merge_equivalent_objects(&figure1_fpg(), &MahjongConfig::default());
+        assert!(out.stats.avg_nfa_states >= 1.0);
+        assert!(out.stats.max_nfa_states >= 2, "A roots reach their payload");
+        assert!(out.stats.dfa_time <= out.stats.dfa_time + out.stats.merge_time);
+    }
+}

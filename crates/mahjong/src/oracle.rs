@@ -1,0 +1,173 @@
+//! A direct, bounded-depth implementation of Definition 2.1 — used as an
+//! independent test oracle for the automata-based fast path.
+//!
+//! The paper notes that enumerating field access paths is exponential in
+//! the presence of cycles; this module does exactly that (with a depth
+//! bound), which is why the production pipeline uses automata instead.
+//! For acyclic graphs a depth bound of the longest path makes the oracle
+//! exact; for cyclic graphs agreement at increasing depths provides
+//! strong cross-validation.
+
+use std::collections::BTreeSet;
+
+use jir::AllocId;
+
+use crate::fpg::{FieldPointsToGraph, FpgNode, NodeType};
+
+/// Checks Definition 2.1 on `a` and `b` for every field-name sequence of
+/// length at most `depth`:
+///
+/// 1. the type sets reached from `a` and `b` along the sequence are
+///    equal, and
+/// 2. each such type set has exactly one element (when
+///    `enforce_condition2`).
+///
+/// Returns `false` as soon as any sequence violates a condition.
+pub fn type_consistent_bounded(
+    fpg: &FieldPointsToGraph,
+    a: AllocId,
+    b: AllocId,
+    depth: usize,
+    enforce_condition2: bool,
+) -> bool {
+    if fpg.node_type(FpgNode::Alloc(a)) != fpg.node_type(FpgNode::Alloc(b)) {
+        return false;
+    }
+    // Breadth-first over field sequences: maintain the frontier node
+    // sets reached from each root by the same sequence.
+    let mut frontier: Vec<(BTreeSet<FpgNode>, BTreeSet<FpgNode>)> = vec![(
+        BTreeSet::from([FpgNode::Alloc(a)]),
+        BTreeSet::from([FpgNode::Alloc(b)]),
+    )];
+    for _ in 0..depth {
+        let mut next_frontier = Vec::new();
+        for (sa, sb) in frontier {
+            // Extend by every field either side defines.
+            let mut fields: BTreeSet<jir::FieldId> = BTreeSet::new();
+            for &n in sa.iter().chain(sb.iter()) {
+                fields.extend(fpg.fields_of(n));
+            }
+            for field in fields {
+                let na: BTreeSet<FpgNode> = sa
+                    .iter()
+                    .flat_map(|&n| fpg.successors(n, field))
+                    .collect();
+                let nb: BTreeSet<FpgNode> = sb
+                    .iter()
+                    .flat_map(|&n| fpg.successors(n, field))
+                    .collect();
+                let ta = type_set(fpg, &na);
+                let tb = type_set(fpg, &nb);
+                if ta != tb {
+                    return false;
+                }
+                if enforce_condition2 && !ta.is_empty() && ta.len() != 1 {
+                    return false;
+                }
+                if !na.is_empty() || !nb.is_empty() {
+                    next_frontier.push((na, nb));
+                }
+            }
+        }
+        if next_frontier.is_empty() {
+            return true;
+        }
+        frontier = next_frontier;
+        // Deduplicate pairs to keep cyclic graphs from exploding.
+        frontier.sort();
+        frontier.dedup();
+    }
+    true
+}
+
+fn type_set(fpg: &FieldPointsToGraph, nodes: &BTreeSet<FpgNode>) -> BTreeSet<NodeType> {
+    nodes.iter().map(|&n| fpg.node_type(n)).collect()
+}
+
+/// Convenience: an oracle depth that is exact for acyclic FPGs — one
+/// more than the number of present nodes bounds every simple path.
+pub fn exact_depth_for_acyclic(fpg: &FieldPointsToGraph) -> usize {
+    fpg.present_allocs().count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpg::FpgBuilder;
+
+    #[test]
+    fn oracle_accepts_figure1_pair() {
+        // Figure 1: o2 ≡ o3 (both A objects whose f holds a C), o1 not
+        // (its f holds a B).
+        let mut b = FpgBuilder::new();
+        let a = b.ty("A");
+        let bb = b.ty("B");
+        let c = b.ty("C");
+        let f = b.field("f");
+        let o1 = b.alloc(a);
+        let o2 = b.alloc(a);
+        let o3 = b.alloc(a);
+        let ob = b.alloc(bb);
+        let oc5 = b.alloc(c);
+        let oc6 = b.alloc(c);
+        b.edge(o1, f, ob);
+        b.edge(o2, f, oc5);
+        b.edge(o3, f, oc6);
+        let fpg = b.finish();
+        assert!(type_consistent_bounded(&fpg, o2, o3, 5, true));
+        assert!(!type_consistent_bounded(&fpg, o1, o2, 5, true));
+        assert!(!type_consistent_bounded(&fpg, o1, o3, 5, true));
+    }
+
+    #[test]
+    fn oracle_rejects_on_condition2() {
+        // Figure 3: o_i.f -> {X, Y} on both sides — Condition 1 holds but
+        // Condition 2 fails.
+        let mut b = FpgBuilder::new();
+        let t = b.ty("T");
+        let x = b.ty("X");
+        let y = b.ty("Y");
+        let f = b.field("f");
+        let oi = b.alloc(t);
+        let oj = b.alloc(t);
+        let ox = b.alloc(x);
+        let oy = b.alloc(y);
+        b.edge(oi, f, ox);
+        b.edge(oi, f, oy);
+        b.edge(oj, f, ox);
+        b.edge(oj, f, oy);
+        let fpg = b.finish();
+        assert!(!type_consistent_bounded(&fpg, oi, oj, 5, true));
+        assert!(
+            type_consistent_bounded(&fpg, oi, oj, 5, false),
+            "without Condition 2 they look consistent"
+        );
+    }
+
+    #[test]
+    fn oracle_distinguishes_different_types_at_root() {
+        let mut b = FpgBuilder::new();
+        let t = b.ty("T");
+        let u = b.ty("U");
+        let o1 = b.alloc(t);
+        let o2 = b.alloc(u);
+        let fpg = b.finish();
+        assert!(!type_consistent_bounded(&fpg, o1, o2, 3, true));
+    }
+
+    #[test]
+    fn oracle_handles_cycles() {
+        let mut b = FpgBuilder::new();
+        let t = b.ty("Node");
+        let f = b.field("next");
+        let o1 = b.alloc(t);
+        let o2 = b.alloc(t);
+        let o3 = b.alloc(t);
+        b.edge(o1, f, o2);
+        b.edge(o2, f, o1);
+        b.edge(o3, f, o3);
+        let fpg = b.finish();
+        // A 2-cycle of Nodes and a self-loop Node are type-consistent.
+        assert!(type_consistent_bounded(&fpg, o1, o3, 16, true));
+    }
+}

@@ -1,0 +1,250 @@
+//! Heap abstractions: how concrete allocation sites are partitioned into
+//! abstract objects.
+//!
+//! The paper contrasts three abstractions:
+//!
+//! - [`AllocSiteAbstraction`] — one object per allocation site (the
+//!   mainstream default in Doop/Wala/Soot);
+//! - [`AllocTypeAbstraction`] — one object per type (the "naive
+//!   solution" of paper Section 2.1, used as the T-kA baseline);
+//! - [`MergedObjectMap`] — the Mahjong abstraction: objects merged per
+//!   type-consistency equivalence class (paper Definition 2.2). Built
+//!   by the `mahjong` crate and consumed here.
+
+use jir::{AllocId, Program};
+
+/// How allocation sites are merged into abstract objects.
+///
+/// `repr` maps each allocation site to the representative of its
+/// equivalence class; the engine then models all sites of a class by
+/// the representative's site. `is_merged` reports whether a site's
+/// class has more than one member: merged objects are always modeled
+/// context-insensitively (paper Section 3.6.1).
+pub trait HeapAbstraction {
+    /// Returns the representative allocation site for `alloc`.
+    fn repr(&self, alloc: AllocId) -> AllocId;
+
+    /// Returns `true` if `alloc` belongs to an equivalence class with
+    /// more than one member.
+    fn is_merged(&self, alloc: AllocId) -> bool;
+
+    /// A short human-readable name, e.g. `"alloc-site"`.
+    fn describe(&self) -> String;
+
+    /// Counts the abstract objects this abstraction induces over the
+    /// given allocation sites (distinct representatives).
+    fn object_count(&self, allocs: impl Iterator<Item = AllocId>) -> usize
+    where
+        Self: Sized,
+    {
+        let mut reprs: Vec<AllocId> = allocs.map(|a| self.repr(a)).collect();
+        reprs.sort_unstable();
+        reprs.dedup();
+        reprs.len()
+    }
+}
+
+/// The allocation-site abstraction: the identity partition.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllocSiteAbstraction;
+
+impl HeapAbstraction for AllocSiteAbstraction {
+    fn repr(&self, alloc: AllocId) -> AllocId {
+        alloc
+    }
+
+    fn is_merged(&self, _alloc: AllocId) -> bool {
+        false
+    }
+
+    fn describe(&self) -> String {
+        "alloc-site".to_owned()
+    }
+}
+
+/// The allocation-type abstraction: all sites of the same type share one
+/// representative (paper Section 2.1 — fast but imprecise).
+#[derive(Clone, Debug)]
+pub struct AllocTypeAbstraction {
+    repr: Vec<AllocId>,
+    merged: Vec<bool>,
+}
+
+impl AllocTypeAbstraction {
+    /// Builds the per-type partition for a program.
+    pub fn new(program: &Program) -> Self {
+        let mut first_of_type: std::collections::HashMap<jir::TypeId, AllocId> =
+            std::collections::HashMap::new();
+        let mut count_of_type: std::collections::HashMap<jir::TypeId, usize> =
+            std::collections::HashMap::new();
+        for a in program.alloc_ids() {
+            let ty = program.alloc(a).ty();
+            first_of_type.entry(ty).or_insert(a);
+            *count_of_type.entry(ty).or_insert(0) += 1;
+        }
+        let repr: Vec<AllocId> = program
+            .alloc_ids()
+            .map(|a| first_of_type[&program.alloc(a).ty()])
+            .collect();
+        let merged: Vec<bool> = program
+            .alloc_ids()
+            .map(|a| count_of_type[&program.alloc(a).ty()] > 1)
+            .collect();
+        AllocTypeAbstraction { repr, merged }
+    }
+}
+
+impl HeapAbstraction for AllocTypeAbstraction {
+    fn repr(&self, alloc: AllocId) -> AllocId {
+        self.repr[alloc.index()]
+    }
+
+    fn is_merged(&self, alloc: AllocId) -> bool {
+        self.merged[alloc.index()]
+    }
+
+    fn describe(&self) -> String {
+        "alloc-type".to_owned()
+    }
+}
+
+/// The Mahjong heap abstraction: the merged object map (MOM) of paper
+/// Algorithm 1, mapping every allocation site to the representative of
+/// its type-consistency equivalence class.
+///
+/// Constructed by `mahjong::build_heap_abstraction`; this crate only
+/// consumes it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergedObjectMap {
+    repr: Vec<AllocId>,
+    merged: Vec<bool>,
+}
+
+impl MergedObjectMap {
+    /// Creates a map from a representative per allocation site (indexed
+    /// by `AllocId`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any representative is itself mapped to a different
+    /// representative (the map must be idempotent).
+    pub fn new(repr: Vec<AllocId>) -> Self {
+        for (i, &r) in repr.iter().enumerate() {
+            assert_eq!(
+                repr[r.index()],
+                r,
+                "representative of alloc#{i} is not a fixed point"
+            );
+        }
+        let mut class_size = vec![0usize; repr.len()];
+        for &r in &repr {
+            class_size[r.index()] += 1;
+        }
+        let merged = repr.iter().map(|&r| class_size[r.index()] > 1).collect();
+        MergedObjectMap { repr, merged }
+    }
+
+    /// Returns the identity map over `n` allocation sites (every class a
+    /// singleton).
+    pub fn identity(n: usize) -> Self {
+        MergedObjectMap {
+            repr: (0..n).map(AllocId::from_usize).collect(),
+            merged: vec![false; n],
+        }
+    }
+
+    /// Returns the number of allocation sites covered.
+    pub fn len(&self) -> usize {
+        self.repr.len()
+    }
+
+    /// Returns `true` if the map covers no allocation sites.
+    pub fn is_empty(&self) -> bool {
+        self.repr.is_empty()
+    }
+
+    /// Returns the number of equivalence classes (abstract objects).
+    pub fn class_count(&self) -> usize {
+        let mut reprs: Vec<AllocId> = self.repr.clone();
+        reprs.sort_unstable();
+        reprs.dedup();
+        reprs.len()
+    }
+
+    /// Groups allocation sites into their equivalence classes, ordered
+    /// by smallest member; members ascend within each class.
+    pub fn classes(&self) -> Vec<Vec<AllocId>> {
+        let mut by_repr: std::collections::BTreeMap<AllocId, Vec<AllocId>> =
+            std::collections::BTreeMap::new();
+        for (i, &r) in self.repr.iter().enumerate() {
+            by_repr.entry(r).or_default().push(AllocId::from_usize(i));
+        }
+        by_repr.into_values().collect()
+    }
+}
+
+impl HeapAbstraction for MergedObjectMap {
+    fn repr(&self, alloc: AllocId) -> AllocId {
+        self.repr[alloc.index()]
+    }
+
+    fn is_merged(&self, alloc: AllocId) -> bool {
+        self.merged[alloc.index()]
+    }
+
+    fn describe(&self) -> String {
+        "mahjong".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_site_is_identity() {
+        let h = AllocSiteAbstraction;
+        let a = AllocId::from_usize(5);
+        assert_eq!(h.repr(a), a);
+        assert!(!h.is_merged(a));
+    }
+
+    #[test]
+    fn mom_identity() {
+        let m = MergedObjectMap::identity(3);
+        assert_eq!(m.class_count(), 3);
+        assert!(!m.is_merged(AllocId::from_usize(0)));
+    }
+
+    #[test]
+    fn mom_classes_and_merged_flags() {
+        // {0, 2} merged into 0; {1} singleton.
+        let m = MergedObjectMap::new(vec![
+            AllocId::from_usize(0),
+            AllocId::from_usize(1),
+            AllocId::from_usize(0),
+        ]);
+        assert_eq!(m.class_count(), 2);
+        assert!(m.is_merged(AllocId::from_usize(0)));
+        assert!(m.is_merged(AllocId::from_usize(2)));
+        assert!(!m.is_merged(AllocId::from_usize(1)));
+        assert_eq!(
+            m.classes(),
+            vec![
+                vec![AllocId::from_usize(0), AllocId::from_usize(2)],
+                vec![AllocId::from_usize(1)],
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a fixed point")]
+    fn mom_rejects_non_idempotent_map() {
+        // 0 -> 1 but 1 -> 2: not idempotent.
+        let _ = MergedObjectMap::new(vec![
+            AllocId::from_usize(1),
+            AllocId::from_usize(2),
+            AllocId::from_usize(2),
+        ]);
+    }
+}

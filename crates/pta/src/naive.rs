@@ -1,0 +1,236 @@
+//! A naive reference solver: round-based, recompute-everything
+//! fixpoint iteration with no worklist, no deltas, and no replay
+//! subtleties.
+//!
+//! It is deliberately simple — every round re-evaluates every
+//! statement of every reachable `(context, method)` pair against full
+//! points-to sets — so its correctness is easy to audit. The test
+//! suite cross-validates the production worklist solver against it on
+//! small programs (`tests/reference.rs`); it is far too slow for real
+//! workloads.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use jir::{CallKind, CallSiteId, CallTarget, MethodId, Program, Stmt, VarId};
+
+use crate::context::{ContextArena, ContextSelector, CtxId};
+use crate::heap::HeapAbstraction;
+use crate::object::{ObjId, ObjTable};
+use crate::solver::PtrKey;
+
+/// The reference solver's result: plain maps, independently computed.
+#[derive(Debug, Default)]
+pub struct NaiveResult {
+    /// Points-to sets per pointer.
+    pub pts: BTreeMap<PtrKey, BTreeSet<ObjId>>,
+    /// Reachable `(context, method)` pairs.
+    pub reachable: BTreeSet<(CtxId, MethodId)>,
+    /// Context-insensitive call-graph edges.
+    pub call_edges: BTreeSet<(CallSiteId, MethodId)>,
+    /// The object table (to translate `ObjId`s).
+    pub objs: ObjTable,
+    /// The context arena.
+    pub arena: ContextArena,
+}
+
+impl NaiveResult {
+    /// The collapsed points-to set of a variable, as allocation sites.
+    pub fn var_points_to_allocs(&self, var: VarId) -> BTreeSet<jir::AllocId> {
+        self.pts
+            .iter()
+            .filter(|(key, _)| matches!(key, PtrKey::Var(_, v) if *v == var))
+            .flat_map(|(_, set)| set.iter().map(|&o| self.objs.alloc(o)))
+            .collect()
+    }
+
+    /// The set of reachable methods (context-insensitive).
+    pub fn reachable_methods(&self) -> BTreeSet<MethodId> {
+        self.reachable.iter().map(|&(_, m)| m).collect()
+    }
+}
+
+/// Runs the round-based fixpoint. Intended for small test programs;
+/// rounds are bounded only by monotonicity (every round either adds a
+/// fact or terminates).
+pub fn solve_naive<S: ContextSelector, H: HeapAbstraction>(
+    program: &Program,
+    selector: &S,
+    heap: &H,
+) -> NaiveResult {
+    let mut r = NaiveResult::default();
+    let empty = r.arena.empty();
+    r.reachable.insert((empty, program.entry()));
+
+    loop {
+        let before = facts(&r);
+        let snapshot: Vec<(CtxId, MethodId)> = r.reachable.iter().copied().collect();
+        for (ctx, m) in snapshot {
+            eval_method(program, selector, heap, &mut r, ctx, m);
+        }
+        if facts(&r) == before {
+            return r;
+        }
+    }
+}
+
+/// A monotone measure of the result: total facts.
+fn facts(r: &NaiveResult) -> (usize, usize, usize) {
+    (
+        r.pts.values().map(BTreeSet::len).sum(),
+        r.reachable.len(),
+        r.call_edges.len(),
+    )
+}
+
+fn get(r: &NaiveResult, key: PtrKey) -> BTreeSet<ObjId> {
+    r.pts.get(&key).cloned().unwrap_or_default()
+}
+
+fn add(r: &mut NaiveResult, key: PtrKey, objs: impl IntoIterator<Item = ObjId>) {
+    r.pts.entry(key).or_default().extend(objs);
+}
+
+fn eval_method<S: ContextSelector, H: HeapAbstraction>(
+    program: &Program,
+    selector: &S,
+    heap: &H,
+    r: &mut NaiveResult,
+    ctx: CtxId,
+    method: MethodId,
+) {
+    let body: Vec<Stmt> = program.method(method).body().to_vec();
+    for stmt in body {
+        match stmt {
+            Stmt::New { lhs, site } => {
+                let repr = heap.repr(site);
+                let hctx = if heap.is_merged(repr) {
+                    r.arena.empty()
+                } else {
+                    selector.heap_context(&mut r.arena, ctx, repr)
+                };
+                let obj = r.objs.intern(hctx, repr, program);
+                add(r, PtrKey::Var(ctx, lhs), [obj]);
+            }
+            Stmt::Assign { lhs, rhs } => {
+                let from = get(r, PtrKey::Var(ctx, rhs));
+                add(r, PtrKey::Var(ctx, lhs), from);
+            }
+            Stmt::Load { lhs, base, field } => {
+                let bases = get(r, PtrKey::Var(ctx, base));
+                for b in bases {
+                    let vals = get(r, PtrKey::Field(b, field));
+                    add(r, PtrKey::Var(ctx, lhs), vals);
+                }
+            }
+            Stmt::Store { base, field, rhs } => {
+                let bases = get(r, PtrKey::Var(ctx, base));
+                let vals = get(r, PtrKey::Var(ctx, rhs));
+                for b in bases {
+                    add(r, PtrKey::Field(b, field), vals.iter().copied());
+                }
+            }
+            Stmt::StaticLoad { lhs, field } => {
+                let vals = get(r, PtrKey::Static(field));
+                add(r, PtrKey::Var(ctx, lhs), vals);
+            }
+            Stmt::StaticStore { field, rhs } => {
+                let vals = get(r, PtrKey::Var(ctx, rhs));
+                add(r, PtrKey::Static(field), vals);
+            }
+            Stmt::Cast { lhs, rhs, site } => {
+                let target = program.cast(site).target_ty();
+                let vals: Vec<ObjId> = get(r, PtrKey::Var(ctx, rhs))
+                    .into_iter()
+                    .filter(|&o| program.is_subtype(r.objs.ty(o), target))
+                    .collect();
+                add(r, PtrKey::Var(ctx, lhs), vals);
+            }
+            Stmt::Call(site_id) => {
+                eval_call(program, selector, heap, r, ctx, site_id);
+            }
+            Stmt::Return { .. } => {}
+        }
+    }
+}
+
+fn eval_call<S: ContextSelector, H: HeapAbstraction>(
+    program: &Program,
+    selector: &S,
+    heap: &H,
+    r: &mut NaiveResult,
+    ctx: CtxId,
+    site_id: CallSiteId,
+) {
+    let _ = heap;
+    let site = program.call_site(site_id).clone();
+    match (site.kind().clone(), site.target().clone()) {
+        (CallKind::Static, CallTarget::Exact(target)) => {
+            let callee_ctx = selector.static_callee_context(&mut r.arena, ctx, site_id, target);
+            bind(program, r, ctx, site_id, callee_ctx, target, None);
+        }
+        (kind, target) => {
+            let recv_var = kind.receiver().expect("receiver-passing call");
+            let recvs = get(r, PtrKey::Var(ctx, recv_var));
+            for recv in recvs {
+                let resolved = match &target {
+                    CallTarget::Exact(t) => Some(*t),
+                    CallTarget::Signature { name, arity } => {
+                        program.dispatch(r.objs.ty(recv), name, *arity)
+                    }
+                };
+                let Some(t) = resolved else { continue };
+                if program.method(t).is_abstract() {
+                    continue;
+                }
+                let callee_ctx = selector.callee_context(
+                    &mut r.arena,
+                    &r.objs,
+                    program,
+                    ctx,
+                    site_id,
+                    recv,
+                    t,
+                );
+                bind(program, r, ctx, site_id, callee_ctx, t, Some(recv));
+            }
+        }
+    }
+}
+
+fn bind(
+    program: &Program,
+    r: &mut NaiveResult,
+    caller_ctx: CtxId,
+    site_id: CallSiteId,
+    callee_ctx: CtxId,
+    target: MethodId,
+    recv: Option<ObjId>,
+) {
+    r.call_edges.insert((site_id, target));
+    r.reachable.insert((callee_ctx, target));
+    let callee = program.method(target);
+    if let (Some(this), Some(obj)) = (callee.this(), recv) {
+        add(r, PtrKey::Var(callee_ctx, this), [obj]);
+    }
+    let site = program.call_site(site_id).clone();
+    let params: Vec<VarId> = callee.params().to_vec();
+    for (&arg, &param) in site.args().iter().zip(params.iter()) {
+        let vals = get(r, PtrKey::Var(caller_ctx, arg));
+        add(r, PtrKey::Var(callee_ctx, param), vals);
+    }
+    if let Some(result) = site.result() {
+        let rets: Vec<VarId> = program
+            .method(target)
+            .body()
+            .iter()
+            .filter_map(|s| match *s {
+                Stmt::Return { value } => value,
+                _ => None,
+            })
+            .collect();
+        for rv in rets {
+            let vals = get(r, PtrKey::Var(callee_ctx, rv));
+            add(r, PtrKey::Var(caller_ctx, result), vals);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Abstract heap objects: a heap context paired with a (representative)
+//! allocation site.
+
+use jir::{AllocId, Program, TypeId};
+
+use crate::context::CtxId;
+use crate::util::FastMap;
+
+/// An interned abstract heap object `(heap context, allocation site)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub(crate) u32);
+
+impl ObjId {
+    /// Returns the arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for ObjId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// Hash-consing arena of abstract heap objects.
+///
+/// Under the allocation-site abstraction each entry pairs an allocation
+/// site with a heap context; under a merging abstraction (allocation-type
+/// or Mahjong) the allocation site stored here is already the
+/// representative of its equivalence class.
+#[derive(Debug, Default)]
+pub struct ObjTable {
+    hctxs: Vec<CtxId>,
+    allocs: Vec<AllocId>,
+    types: Vec<TypeId>,
+    map: FastMap<(CtxId, AllocId), ObjId>,
+}
+
+impl ObjTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns the object `(hctx, alloc)`.
+    pub fn intern(&mut self, hctx: CtxId, alloc: AllocId, program: &Program) -> ObjId {
+        if let Some(&id) = self.map.get(&(hctx, alloc)) {
+            return id;
+        }
+        let id = ObjId(u32::try_from(self.allocs.len()).expect("too many objects"));
+        self.hctxs.push(hctx);
+        self.allocs.push(alloc);
+        self.types.push(program.alloc(alloc).ty());
+        self.map.insert((hctx, alloc), id);
+        id
+    }
+
+    /// Returns the heap context of an object.
+    pub fn heap_context(&self, obj: ObjId) -> CtxId {
+        self.hctxs[obj.index()]
+    }
+
+    /// Returns the (representative) allocation site of an object.
+    pub fn alloc(&self, obj: ObjId) -> AllocId {
+        self.allocs[obj.index()]
+    }
+
+    /// Returns the runtime type of an object.
+    pub fn ty(&self, obj: ObjId) -> TypeId {
+        self.types[obj.index()]
+    }
+
+    /// Returns the number of distinct abstract objects created.
+    pub fn len(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// Returns `true` if no objects have been created.
+    pub fn is_empty(&self) -> bool {
+        self.allocs.is_empty()
+    }
+
+    /// Iterates over all object ids.
+    pub fn iter(&self) -> impl Iterator<Item = ObjId> + '_ {
+        (0..self.allocs.len()).map(|i| ObjId(i as u32))
+    }
+}

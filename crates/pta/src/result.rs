@@ -1,0 +1,250 @@
+//! Analysis results: points-to sets, the discovered call graph, and the
+//! query API consumed by the clients and by Mahjong's FPG builder.
+
+use std::time::Duration;
+
+use jir::{AllocId, CallSiteId, FieldId, MethodId, TypeId, VarId};
+
+use crate::context::{ContextArena, CtxId};
+use crate::object::{ObjId, ObjTable};
+use crate::solver::{PtrId, PtrKey};
+use crate::util::{FastMap, FastSet};
+
+/// Counters describing one solver run.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisStats {
+    /// Wall-clock time of the fixpoint.
+    pub elapsed: Duration,
+    /// Worklist entries processed.
+    pub worklist_pops: u64,
+    /// Objects pushed through the graph (sum of delta sizes).
+    pub propagated_objects: u64,
+    /// Copy edges in the final constraint graph.
+    pub copy_edges: u64,
+    /// Reachable `(context, method)` pairs.
+    pub reachable_method_contexts: u64,
+    /// Distinct calling contexts created.
+    pub context_count: usize,
+}
+
+/// The immutable result of a points-to analysis run.
+#[derive(Debug)]
+pub struct AnalysisResult {
+    arena: ContextArena,
+    objs: ObjTable,
+    ptr_keys: Vec<PtrKey>,
+    ptr_map: FastMap<PtrKey, PtrId>,
+    pts: Vec<FastSet<ObjId>>,
+    reachable: FastSet<(CtxId, MethodId)>,
+    reachable_methods: FastSet<MethodId>,
+    cg_edges: FastSet<(CallSiteId, MethodId)>,
+    cs_cg_edge_count: usize,
+    stats: AnalysisStats,
+    /// Contexts each method is analyzed under.
+    method_ctxs: FastMap<MethodId, Vec<CtxId>>,
+    /// Pointer nodes per variable (all contexts).
+    var_ptrs: FastMap<VarId, Vec<PtrId>>,
+}
+
+impl AnalysisResult {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        arena: ContextArena,
+        objs: ObjTable,
+        ptr_keys: Vec<PtrKey>,
+        ptr_map: FastMap<PtrKey, PtrId>,
+        pts: Vec<FastSet<ObjId>>,
+        reachable: FastSet<(CtxId, MethodId)>,
+        reachable_methods: FastSet<MethodId>,
+        cg_edges: FastSet<(CallSiteId, MethodId)>,
+        cs_cg_edge_count: usize,
+        stats: AnalysisStats,
+    ) -> Self {
+        let mut method_ctxs: FastMap<MethodId, Vec<CtxId>> = FastMap::default();
+        for &(ctx, m) in &reachable {
+            method_ctxs.entry(m).or_default().push(ctx);
+        }
+        let mut var_ptrs: FastMap<VarId, Vec<PtrId>> = FastMap::default();
+        for (i, key) in ptr_keys.iter().enumerate() {
+            if let PtrKey::Var(_, v) = *key {
+                var_ptrs.entry(v).or_default().push(PtrId(i as u32));
+            }
+        }
+        AnalysisResult {
+            arena,
+            objs,
+            ptr_keys,
+            ptr_map,
+            pts,
+            reachable,
+            reachable_methods,
+            cg_edges,
+            cs_cg_edge_count,
+            stats,
+            method_ctxs,
+            var_ptrs,
+        }
+    }
+
+    // --- Object queries -----------------------------------------------------
+
+    /// Returns the number of distinct abstract objects created.
+    pub fn object_count(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Returns the (representative) allocation site of an object.
+    pub fn obj_alloc(&self, obj: ObjId) -> AllocId {
+        self.objs.alloc(obj)
+    }
+
+    /// Returns the runtime type of an object.
+    pub fn obj_type(&self, obj: ObjId) -> TypeId {
+        self.objs.ty(obj)
+    }
+
+    /// Returns the heap context of an object.
+    pub fn obj_heap_context(&self, obj: ObjId) -> CtxId {
+        self.objs.heap_context(obj)
+    }
+
+    /// Iterates over all abstract objects.
+    pub fn objects(&self) -> impl Iterator<Item = ObjId> + '_ {
+        self.objs.iter()
+    }
+
+    // --- Points-to queries ---------------------------------------------------
+
+    /// Returns the points-to set of variable `var` under context `ctx`
+    /// (empty if the pointer never arose).
+    pub fn points_to(&self, ctx: CtxId, var: VarId) -> Vec<ObjId> {
+        self.pts_of(PtrKey::Var(ctx, var))
+    }
+
+    /// Returns the context-insensitively collapsed points-to set of
+    /// `var`: the union over all contexts.
+    pub fn points_to_collapsed(&self, var: VarId) -> Vec<ObjId> {
+        let mut out: Vec<ObjId> = self
+            .var_ptrs
+            .get(&var)
+            .into_iter()
+            .flatten()
+            .flat_map(|p| self.pts[p.index()].iter())
+            .copied()
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Returns the points-to set of `obj.field`.
+    pub fn field_points_to(&self, obj: ObjId, field: FieldId) -> Vec<ObjId> {
+        self.pts_of(PtrKey::Field(obj, field))
+    }
+
+    /// Returns the points-to set of a static field.
+    pub fn static_points_to(&self, field: FieldId) -> Vec<ObjId> {
+        self.pts_of(PtrKey::Static(field))
+    }
+
+    fn pts_of(&self, key: PtrKey) -> Vec<ObjId> {
+        match self.ptr_map.get(&key) {
+            Some(p) => {
+                let mut v: Vec<ObjId> = self.pts[p.index()].iter().copied().collect();
+                v.sort_unstable();
+                v
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Iterates over all `(object, field, points-to set)` triples — the
+    /// raw material of Mahjong's field points-to graph.
+    pub fn field_pointers(&self) -> impl Iterator<Item = (ObjId, FieldId, Vec<ObjId>)> + '_ {
+        self.ptr_keys
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, key)| match *key {
+                PtrKey::Field(obj, field) => {
+                    let mut v: Vec<ObjId> = self.pts[i].iter().copied().collect();
+                    v.sort_unstable();
+                    Some((obj, field, v))
+                }
+                _ => None,
+            })
+    }
+
+    /// Sum of all points-to set sizes (a standard size metric).
+    pub fn total_points_to_size(&self) -> u64 {
+        self.pts.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Number of pointer nodes in the constraint graph.
+    pub fn pointer_count(&self) -> usize {
+        self.ptr_keys.len()
+    }
+
+    // --- Call graph and reachability ------------------------------------------
+
+    /// Returns the context-insensitive call-graph edges `(site, target)`.
+    pub fn call_graph_edges(&self) -> impl Iterator<Item = (CallSiteId, MethodId)> + '_ {
+        self.cg_edges.iter().copied()
+    }
+
+    /// Returns the number of context-insensitive call-graph edges — the
+    /// paper's "#call graph edges" metric.
+    pub fn call_graph_edge_count(&self) -> usize {
+        self.cg_edges.len()
+    }
+
+    /// Returns the number of context-sensitive call-graph edges.
+    pub fn cs_call_graph_edge_count(&self) -> usize {
+        self.cs_cg_edge_count
+    }
+
+    /// Returns the targets discovered for one call site.
+    pub fn call_targets(&self, site: CallSiteId) -> Vec<MethodId> {
+        let mut v: Vec<MethodId> = self
+            .cg_edges
+            .iter()
+            .filter(|&&(s, _)| s == site)
+            .map(|&(_, m)| m)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Returns `true` if `method` is reachable from the entry point.
+    pub fn is_reachable(&self, method: MethodId) -> bool {
+        self.reachable_methods.contains(&method)
+    }
+
+    /// Returns the number of reachable methods (context-insensitive).
+    pub fn reachable_method_count(&self) -> usize {
+        self.reachable_methods.len()
+    }
+
+    /// Returns the contexts under which `method` was analyzed.
+    pub fn contexts_of_method(&self, method: MethodId) -> &[CtxId] {
+        self.method_ctxs
+            .get(&method)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Returns the number of reachable `(context, method)` pairs.
+    pub fn reachable_context_count(&self) -> usize {
+        self.reachable.len()
+    }
+
+    /// Returns the solver statistics.
+    pub fn stats(&self) -> &AnalysisStats {
+        &self.stats
+    }
+
+    /// Returns the context arena (for inspecting context elements).
+    pub fn contexts(&self) -> &ContextArena {
+        &self.arena
+    }
+}

@@ -1,0 +1,583 @@
+//! The worklist-based Andersen-style points-to solver with on-the-fly
+//! call-graph construction.
+//!
+//! Semantics follow the standard subset-constraint formulation used by
+//! Doop/Wala: flow-insensitive, field-sensitive, with a call graph
+//! discovered during the fixpoint. Context sensitivity and heap
+//! abstraction are pluggable ([`ContextSelector`], [`HeapAbstraction`]).
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use jir::{
+    CallKind, CallSiteId, CallTarget, FieldId, MethodId, Program, Stmt, TypeId, VarId,
+};
+
+use crate::context::{ContextArena, ContextSelector, CtxId};
+use crate::heap::HeapAbstraction;
+use crate::object::{ObjId, ObjTable};
+use crate::result::{AnalysisResult, AnalysisStats};
+use crate::util::{FastMap, FastSet};
+
+/// An interned pointer node in the constraint graph.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PtrId(pub(crate) u32);
+
+impl PtrId {
+    /// Returns the arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for PtrId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ptr#{}", self.0)
+    }
+}
+
+/// The identity of a pointer node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PtrKey {
+    /// A context-qualified local variable.
+    Var(CtxId, VarId),
+    /// An instance field of an abstract object.
+    Field(ObjId, FieldId),
+    /// A static field.
+    Static(FieldId),
+}
+
+/// Resource limits for one analysis run.
+///
+/// The paper gives every configuration a 5-hour budget on a server;
+/// workloads here are laptop-scale, so the default is 60 seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Wall-clock limit.
+    pub time_limit: Duration,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            time_limit: Duration::from_secs(60),
+        }
+    }
+}
+
+impl Budget {
+    /// A budget with the given wall-clock limit in seconds.
+    pub fn seconds(s: u64) -> Self {
+        Budget {
+            time_limit: Duration::from_secs(s),
+        }
+    }
+}
+
+/// Returned when an analysis exceeds its [`Budget`] — the analogue of the
+/// paper's "unscalable within 5 hours" entries.
+#[derive(Clone, Debug)]
+pub struct Unscalable {
+    /// Time spent before giving up.
+    pub elapsed: Duration,
+    /// Reachable `(context, method)` pairs processed before giving up.
+    pub methods_processed: usize,
+}
+
+impl std::fmt::Display for Unscalable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "analysis exceeded its budget after {:.1}s ({} method contexts processed)",
+            self.elapsed.as_secs_f64(),
+            self.methods_processed
+        )
+    }
+}
+
+impl std::error::Error for Unscalable {}
+
+/// A configured points-to analysis, ready to run on programs.
+///
+/// # Examples
+///
+/// ```
+/// use pta::{Analysis, ContextInsensitive, AllocSiteAbstraction};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = jir::parse(
+///     "class A {
+///        entry static method main() { x = new A; return; }
+///      }",
+/// )?;
+/// let result = Analysis::new(ContextInsensitive, AllocSiteAbstraction).run(&program)?;
+/// assert_eq!(result.object_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Analysis<S, H> {
+    selector: S,
+    heap: H,
+    budget: Budget,
+}
+
+impl<S: ContextSelector, H: HeapAbstraction> Analysis<S, H> {
+    /// Creates an analysis with the default [`Budget`].
+    pub fn new(selector: S, heap: H) -> Self {
+        Analysis {
+            selector,
+            heap,
+            budget: Budget::default(),
+        }
+    }
+
+    /// Replaces the resource budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Runs the analysis to its fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Unscalable`] if the budget is exhausted first.
+    pub fn run(&self, program: &Program) -> Result<AnalysisResult, Unscalable> {
+        Solver::new(program, &self.selector, &self.heap, self.budget).solve()
+    }
+}
+
+/// A statically resolved call waiting for receiver objects.
+#[derive(Clone, Copy, Debug)]
+struct PendingCall {
+    site: CallSiteId,
+    caller_ctx: CtxId,
+    /// For special calls the target is fixed; virtual calls dispatch on
+    /// the receiver type.
+    fixed_target: Option<MethodId>,
+}
+
+struct Solver<'a, S, H> {
+    program: &'a Program,
+    selector: &'a S,
+    heap: &'a H,
+    budget: Budget,
+    start: Instant,
+
+    arena: ContextArena,
+    objs: ObjTable,
+
+    ptr_map: FastMap<PtrKey, PtrId>,
+    ptr_keys: Vec<PtrKey>,
+    pts: Vec<FastSet<ObjId>>,
+    /// Copy edges with an optional declared-type filter (cast edges).
+    succ: Vec<Vec<(PtrId, Option<TypeId>)>>,
+    loads: Vec<Vec<(FieldId, PtrId)>>,
+    stores: Vec<Vec<(FieldId, PtrId)>>,
+    calls: Vec<Vec<PendingCall>>,
+
+    reachable: FastSet<(CtxId, MethodId)>,
+    reachable_methods: FastSet<MethodId>,
+    /// Context-insensitive call-graph edges.
+    cg_edges: FastSet<(CallSiteId, MethodId)>,
+    /// Context-sensitive call-graph edge count.
+    cs_cg_edges: FastSet<(CtxId, CallSiteId, CtxId, MethodId)>,
+    /// Per-method return variables (cached).
+    return_vars: Vec<Vec<VarId>>,
+
+    worklist: VecDeque<(PtrId, Vec<ObjId>)>,
+    /// Newly reachable `(context, method)` pairs awaiting statement
+    /// processing (kept iterative to bound stack depth on deep call
+    /// chains).
+    pending_methods: VecDeque<(CtxId, MethodId)>,
+    stats: AnalysisStats,
+}
+
+impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
+    fn new(program: &'a Program, selector: &'a S, heap: &'a H, budget: Budget) -> Self {
+        let return_vars = program
+            .method_ids()
+            .map(|m| {
+                program
+                    .method(m)
+                    .body()
+                    .iter()
+                    .filter_map(|s| match *s {
+                        Stmt::Return { value } => value,
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        Solver {
+            program,
+            selector,
+            heap,
+            budget,
+            start: Instant::now(),
+            arena: ContextArena::new(),
+            objs: ObjTable::new(),
+            ptr_map: FastMap::default(),
+            ptr_keys: Vec::new(),
+            pts: Vec::new(),
+            succ: Vec::new(),
+            loads: Vec::new(),
+            stores: Vec::new(),
+            calls: Vec::new(),
+            reachable: FastSet::default(),
+            reachable_methods: FastSet::default(),
+            cg_edges: FastSet::default(),
+            cs_cg_edges: FastSet::default(),
+            return_vars,
+            worklist: VecDeque::new(),
+            pending_methods: VecDeque::new(),
+            stats: AnalysisStats::default(),
+        }
+    }
+
+    fn solve(mut self) -> Result<AnalysisResult, Unscalable> {
+        let empty = self.arena.empty();
+        self.mark_reachable(empty, self.program.entry());
+
+        let mut since_check = 0usize;
+        loop {
+            since_check += 1;
+            if since_check >= 4096 {
+                since_check = 0;
+                if self.start.elapsed() > self.budget.time_limit {
+                    return Err(Unscalable {
+                        elapsed: self.start.elapsed(),
+                        methods_processed: self.reachable.len(),
+                    });
+                }
+            }
+            if let Some((ctx, method)) = self.pending_methods.pop_front() {
+                self.process_method(ctx, method);
+            } else if let Some((ptr, delta)) = self.worklist.pop_front() {
+                self.stats.worklist_pops += 1;
+                self.process(ptr, &delta);
+            } else {
+                break;
+            }
+        }
+
+        self.stats.elapsed = self.start.elapsed();
+        self.stats.context_count = self.arena.len();
+        Ok(AnalysisResult::from_parts(
+            self.arena,
+            self.objs,
+            self.ptr_keys,
+            self.ptr_map,
+            self.pts,
+            self.reachable,
+            self.reachable_methods,
+            self.cg_edges,
+            self.cs_cg_edges.len(),
+            self.stats,
+        ))
+    }
+
+    // --- Pointer graph primitives ----------------------------------------
+
+    fn ptr(&mut self, key: PtrKey) -> PtrId {
+        if let Some(&p) = self.ptr_map.get(&key) {
+            return p;
+        }
+        let p = PtrId(u32::try_from(self.ptr_keys.len()).expect("too many pointers"));
+        self.ptr_map.insert(key, p);
+        self.ptr_keys.push(key);
+        self.pts.push(FastSet::default());
+        self.succ.push(Vec::new());
+        self.loads.push(Vec::new());
+        self.stores.push(Vec::new());
+        self.calls.push(Vec::new());
+        p
+    }
+
+    fn var_ptr(&mut self, ctx: CtxId, var: VarId) -> PtrId {
+        self.ptr(PtrKey::Var(ctx, var))
+    }
+
+    /// Seeds `objs` into `pts(ptr)`, enqueueing the genuinely new part.
+    fn add_objects(&mut self, ptr: PtrId, objs: impl IntoIterator<Item = ObjId>) {
+        let set = &mut self.pts[ptr.index()];
+        let delta: Vec<ObjId> = objs.into_iter().filter(|&o| set.insert(o)).collect();
+        if !delta.is_empty() {
+            self.worklist.push_back((ptr, delta));
+        }
+    }
+
+    /// Adds the copy edge `from → to` (optionally type-filtered) and
+    /// replays the existing points-to set of `from`.
+    fn add_edge(&mut self, from: PtrId, to: PtrId, filter: Option<TypeId>) {
+        if from == to && filter.is_none() {
+            return;
+        }
+        let row = &mut self.succ[from.index()];
+        if row.contains(&(to, filter)) {
+            return;
+        }
+        row.push((to, filter));
+        self.stats.copy_edges += 1;
+        if !self.pts[from.index()].is_empty() {
+            let existing: Vec<ObjId> = self.pts[from.index()].iter().copied().collect();
+            let filtered = self.filter_objs(existing, filter);
+            self.add_objects(to, filtered);
+        }
+    }
+
+    fn filter_objs(&self, objs: Vec<ObjId>, filter: Option<TypeId>) -> Vec<ObjId> {
+        match filter {
+            None => objs,
+            Some(ty) => objs
+                .into_iter()
+                .filter(|&o| self.program.is_subtype(self.objs.ty(o), ty))
+                .collect(),
+        }
+    }
+
+    // --- Delta processing --------------------------------------------------
+
+    fn process(&mut self, ptr: PtrId, delta: &[ObjId]) {
+        self.stats.propagated_objects += delta.len() as u64;
+
+        // Propagate along copy edges.
+        let succ = self.succ[ptr.index()].clone();
+        for (to, filter) in succ {
+            let objs = self.filter_objs(delta.to_vec(), filter);
+            self.add_objects(to, objs);
+        }
+
+        // Field loads/stores and calls hang off variable pointers only.
+        let loads = self.loads[ptr.index()].clone();
+        for (field, lhs) in loads {
+            for &obj in delta {
+                let fp = self.ptr(PtrKey::Field(obj, field));
+                self.add_edge(fp, lhs, None);
+            }
+        }
+        let stores = self.stores[ptr.index()].clone();
+        for (field, rhs) in stores {
+            for &obj in delta {
+                let fp = self.ptr(PtrKey::Field(obj, field));
+                self.add_edge(rhs, fp, None);
+            }
+        }
+        let calls = self.calls[ptr.index()].clone();
+        for call in calls {
+            for &obj in delta {
+                self.dispatch_call(call, obj);
+            }
+        }
+    }
+
+    // --- Statements --------------------------------------------------------
+
+    fn mark_reachable(&mut self, ctx: CtxId, method: MethodId) {
+        if !self.reachable.insert((ctx, method)) {
+            return;
+        }
+        self.reachable_methods.insert(method);
+        self.stats.reachable_method_contexts += 1;
+        self.pending_methods.push_back((ctx, method));
+    }
+
+    fn process_method(&mut self, ctx: CtxId, method: MethodId) {
+        let body: Vec<Stmt> = self.program.method(method).body().to_vec();
+        for stmt in body {
+            self.process_stmt(ctx, method, stmt);
+        }
+    }
+
+    fn process_stmt(&mut self, ctx: CtxId, method: MethodId, stmt: Stmt) {
+        match stmt {
+            Stmt::New { lhs, site } => {
+                let repr = self.heap.repr(site);
+                // Merged objects are modeled context-insensitively
+                // (paper Section 3.6.1).
+                let hctx = if self.heap.is_merged(repr) {
+                    self.arena.empty()
+                } else {
+                    self.selector.heap_context(&mut self.arena, ctx, repr)
+                };
+                let obj = self.objs.intern(hctx, repr, self.program);
+                let lp = self.var_ptr(ctx, lhs);
+                self.add_objects(lp, [obj]);
+            }
+            Stmt::Assign { lhs, rhs } => {
+                let (rp, lp) = (self.var_ptr(ctx, rhs), self.var_ptr(ctx, lhs));
+                self.add_edge(rp, lp, None);
+            }
+            Stmt::Load { lhs, base, field } => {
+                let bp = self.var_ptr(ctx, base);
+                let lp = self.var_ptr(ctx, lhs);
+                self.loads[bp.index()].push((field, lp));
+                // Replay objects already known for the base.
+                let existing: Vec<ObjId> = self.pts[bp.index()].iter().copied().collect();
+                for obj in existing {
+                    let fp = self.ptr(PtrKey::Field(obj, field));
+                    self.add_edge(fp, lp, None);
+                }
+            }
+            Stmt::Store { base, field, rhs } => {
+                let bp = self.var_ptr(ctx, base);
+                let rp = self.var_ptr(ctx, rhs);
+                self.stores[bp.index()].push((field, rp));
+                let existing: Vec<ObjId> = self.pts[bp.index()].iter().copied().collect();
+                for obj in existing {
+                    let fp = self.ptr(PtrKey::Field(obj, field));
+                    self.add_edge(rp, fp, None);
+                }
+            }
+            Stmt::StaticLoad { lhs, field } => {
+                let sp = self.ptr(PtrKey::Static(field));
+                let lp = self.var_ptr(ctx, lhs);
+                self.add_edge(sp, lp, None);
+            }
+            Stmt::StaticStore { field, rhs } => {
+                let rp = self.var_ptr(ctx, rhs);
+                let sp = self.ptr(PtrKey::Static(field));
+                self.add_edge(rp, sp, None);
+            }
+            Stmt::Cast { lhs, rhs, site } => {
+                let target = self.program.cast(site).target_ty();
+                let (rp, lp) = (self.var_ptr(ctx, rhs), self.var_ptr(ctx, lhs));
+                // Cast edges filter: only objects that can pass the cast
+                // flow onward (failing objects raise at runtime).
+                self.add_edge(rp, lp, Some(target));
+            }
+            Stmt::Call(site_id) => {
+                let site = self.program.call_site(site_id).clone();
+                match (site.kind().clone(), site.target().clone()) {
+                    (CallKind::Static, CallTarget::Exact(target)) => {
+                        let callee_ctx = self.selector.static_callee_context(
+                            &mut self.arena,
+                            ctx,
+                            site_id,
+                            target,
+                        );
+                        self.bind_call(ctx, site_id, callee_ctx, target, None);
+                    }
+                    (CallKind::Special { recv }, CallTarget::Exact(target)) => {
+                        self.register_receiver_call(ctx, recv, site_id, Some(target));
+                    }
+                    (CallKind::Virtual { recv }, CallTarget::Signature { .. }) => {
+                        self.register_receiver_call(ctx, recv, site_id, None);
+                    }
+                    (kind, target) => {
+                        unreachable!("malformed call site {site_id:?}: {kind:?} {target:?}")
+                    }
+                }
+            }
+            Stmt::Return { .. } => {
+                // Handled at call-binding time via `return_vars`.
+            }
+        }
+        let _ = method;
+    }
+
+    fn register_receiver_call(
+        &mut self,
+        ctx: CtxId,
+        recv: VarId,
+        site: CallSiteId,
+        fixed_target: Option<MethodId>,
+    ) {
+        let rp = self.var_ptr(ctx, recv);
+        let call = PendingCall {
+            site,
+            caller_ctx: ctx,
+            fixed_target,
+        };
+        self.calls[rp.index()].push(call);
+        let existing: Vec<ObjId> = self.pts[rp.index()].iter().copied().collect();
+        for obj in existing {
+            self.dispatch_call(call, obj);
+        }
+    }
+
+    fn dispatch_call(&mut self, call: PendingCall, recv_obj: ObjId) {
+        let site = self.program.call_site(call.site);
+        let target = match call.fixed_target {
+            Some(t) => Some(t),
+            None => match site.target() {
+                CallTarget::Signature { name, arity } => {
+                    self.program.dispatch(self.objs.ty(recv_obj), name, *arity)
+                }
+                CallTarget::Exact(t) => Some(*t),
+            },
+        };
+        let Some(target) = target else {
+            // No concrete implementation: the call site cannot resolve
+            // for this receiver type (e.g. an abstract class leak).
+            return;
+        };
+        if self.program.method(target).is_abstract() {
+            return;
+        }
+        let callee_ctx = self.selector.callee_context(
+            &mut self.arena,
+            &self.objs,
+            self.program,
+            call.caller_ctx,
+            call.site,
+            recv_obj,
+            target,
+        );
+        self.bind_call(call.caller_ctx, call.site, callee_ctx, target, Some(recv_obj));
+    }
+
+    fn bind_call(
+        &mut self,
+        caller_ctx: CtxId,
+        site_id: CallSiteId,
+        callee_ctx: CtxId,
+        target: MethodId,
+        recv_obj: Option<ObjId>,
+    ) {
+        self.cg_edges.insert((site_id, target));
+        self.cs_cg_edges
+            .insert((caller_ctx, site_id, callee_ctx, target));
+        self.mark_reachable(callee_ctx, target);
+
+        let callee = self.program.method(target);
+        // `this` receives exactly the dispatching object.
+        if let (Some(this), Some(obj)) = (callee.this(), recv_obj) {
+            let tp = self.var_ptr(callee_ctx, this);
+            self.add_objects(tp, [obj]);
+        }
+        // Arguments to parameters.
+        let site = self.program.call_site(site_id).clone();
+        let params: Vec<VarId> = callee.params().to_vec();
+        for (&arg, &param) in site.args().iter().zip(params.iter()) {
+            let ap = self.var_ptr(caller_ctx, arg);
+            let pp = self.var_ptr(callee_ctx, param);
+            self.add_edge(ap, pp, None);
+        }
+        // Returns to the result variable.
+        if let Some(result) = site.result() {
+            let rp = self.var_ptr(caller_ctx, result);
+            let ret_vars: Vec<VarId> = self.return_vars[target.index()].clone();
+            for rv in ret_vars {
+                let rvp = self.var_ptr(callee_ctx, rv);
+                self.add_edge(rvp, rp, None);
+            }
+        }
+    }
+}
+
+/// Convenience: runs the context-insensitive allocation-site pre-analysis
+/// the Mahjong pipeline starts from (paper Section 3.1, "ci").
+///
+/// # Errors
+///
+/// Returns [`Unscalable`] if the budget is exhausted (the pre-analysis is
+/// given the same default budget as any other run).
+pub fn pre_analysis(program: &Program) -> Result<AnalysisResult, Unscalable> {
+    Analysis::new(
+        crate::context::ContextInsensitive,
+        crate::heap::AllocSiteAbstraction,
+    )
+    .run(program)
+}

@@ -1,0 +1,98 @@
+//! Small utilities: a fast, deterministic hasher for the hot interning
+//! and points-to-set maps.
+//!
+//! The hasher is a simple multiplicative mix (the same family as
+//! rustc's FxHash): not DoS-resistant, but the analysis only hashes its
+//! own interned indices, so speed and determinism are what matter.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+/// A `HashSet` keyed with [`FastHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast non-cryptographic hasher for small integer-like keys.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    hash: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_distinct_buckets_mostly() {
+        let mut set = FastSet::default();
+        for i in 0u32..10_000 {
+            set.insert(i);
+        }
+        assert_eq!(set.len(), 10_000);
+        assert!(set.contains(&42));
+        assert!(!set.contains(&10_000));
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FastHasher::default();
+        let mut b = FastHasher::default();
+        a.write_u64(123);
+        b.write_u64(123);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<(u32, u32), u32> = FastMap::default();
+        m.insert((1, 2), 3);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        assert_eq!(m.get(&(2, 1)), None);
+    }
+}

@@ -1,0 +1,203 @@
+//! Context-semantics tests: the shapes of contexts each selector
+//! builds, heap-context conventions, and the Mahjong context rules of
+//! paper Section 3.6.1.
+
+use pta::{
+    AllocSiteAbstraction, Analysis, CallSiteSensitive, CtxElem, MergedObjectMap, ObjectSensitive,
+    TypeSensitive,
+};
+
+/// A deep receiver chain: o1 makes o2 makes o3 ... so k-obj contexts
+/// grow until truncation.
+fn chain_program() -> jir::Program {
+    jir::parse(
+        "class W {
+           field inner: W;
+           method mkA(this) { w = new W; w.inner = this; return w; }
+           method mkB(this) { w = new W; w.inner = this; return w; }
+           method probe(this) { p = new P; return p; }
+         }
+         class P { }
+         class Main {
+           entry static method main() {
+             w0 = new W;
+             w1 = virt w0.mkA();
+             w2 = virt w1.mkB();
+             w3 = virt w2.mkA();
+             x = virt w3.probe();
+             return;
+           }
+         }",
+    )
+    .unwrap()
+}
+
+#[test]
+fn object_sensitive_contexts_are_alloc_site_suffixes() {
+    let p = chain_program();
+    let r = Analysis::new(ObjectSensitive::new(3), AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    // Every context element must be an allocation site; no context is
+    // longer than k = 3.
+    let mut deepest = 0;
+    for m in p.method_ids() {
+        for &ctx in r.contexts_of_method(m) {
+            let elems = r.contexts().elems(ctx);
+            assert!(elems.len() <= 3);
+            deepest = deepest.max(elems.len());
+            for e in elems {
+                assert!(matches!(e, CtxElem::Alloc(_)), "kobj elements are sites");
+            }
+        }
+    }
+    assert_eq!(deepest, 3, "the chain reaches full depth");
+}
+
+#[test]
+fn call_site_sensitive_contexts_are_call_sites() {
+    let p = chain_program();
+    let r = Analysis::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    for m in p.method_ids() {
+        for &ctx in r.contexts_of_method(m) {
+            let elems = r.contexts().elems(ctx);
+            assert!(elems.len() <= 2);
+            for e in elems {
+                assert!(matches!(e, CtxElem::CallSite(_)));
+            }
+        }
+    }
+}
+
+#[test]
+fn type_sensitive_contexts_are_classes() {
+    let p = chain_program();
+    let r = Analysis::new(TypeSensitive::new(2), AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    let mut saw_type_elem = false;
+    for m in p.method_ids() {
+        for &ctx in r.contexts_of_method(m) {
+            for e in r.contexts().elems(ctx) {
+                assert!(matches!(e, CtxElem::Type(_)));
+                saw_type_elem = true;
+            }
+        }
+    }
+    assert!(saw_type_elem);
+}
+
+#[test]
+fn heap_contexts_are_one_shorter_than_method_contexts() {
+    let p = chain_program();
+    let k = 3;
+    let r = Analysis::new(ObjectSensitive::new(k), AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    for obj in r.objects() {
+        let hctx = r.contexts().elems(r.obj_heap_context(obj));
+        assert!(hctx.len() < k, "heap context depth is k-1");
+    }
+}
+
+#[test]
+fn merged_objects_are_context_insensitive_and_collapse_contexts() {
+    let p = chain_program();
+    // Merge the two mk-sites (1 and 2: the `new W` inside mkA/mkB) by
+    // hand — a miniature Mahjong decision.
+    let mk_sites: Vec<jir::AllocId> = p
+        .alloc_ids()
+        .filter(|&a| {
+            let m = p.method(p.alloc(a).method());
+            m.name().starts_with("mk")
+        })
+        .collect();
+    assert_eq!(mk_sites.len(), 2);
+    let mut repr: Vec<jir::AllocId> = p.alloc_ids().collect();
+    repr[mk_sites[1].index()] = mk_sites[0];
+    let mom = MergedObjectMap::new(repr);
+
+    let base = Analysis::new(ObjectSensitive::new(3), AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    let merged = Analysis::new(ObjectSensitive::new(3), mom)
+        .run(&p)
+        .unwrap();
+    assert!(
+        merged.object_count() < base.object_count(),
+        "merging mk sites removes context-sensitive wrapper objects"
+    );
+    assert!(
+        merged.reachable_context_count() <= base.reachable_context_count(),
+        "and never adds method contexts"
+    );
+    // Merged wrapper objects carry no heap context.
+    for obj in merged.objects() {
+        if merged.obj_alloc(obj) == mk_sites[0] {
+            assert!(merged.contexts().elems(merged.obj_heap_context(obj)).is_empty());
+        }
+    }
+    // The call graph is unchanged: W methods and probe stay reachable.
+    assert_eq!(
+        base.call_graph_edge_count(),
+        merged.call_graph_edge_count()
+    );
+}
+
+#[test]
+fn static_calls_inherit_context_under_kobj() {
+    let p = jir::parse(
+        "class Helper { static method id(v) { return v; } }
+         class Box { method pass(this, v) { r = call Helper::id(v); return r; } }
+         class P { } class Q { }
+         class Main {
+           entry static method main() {
+             b1 = new Box; b2 = new Box;
+             p = new P; q = new Q;
+             x = virt b1.pass(p);
+             y = virt b2.pass(q);
+             return;
+           }
+         }",
+    )
+    .unwrap();
+    let r = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    // Helper::id inherits the caller's (receiver-object) context, so it
+    // is analyzed once per Box receiver and x/y stay separate.
+    let helper = p.class_by_name("Helper").unwrap();
+    let id = p.method_by_name(helper, "id", 1).unwrap();
+    assert_eq!(r.contexts_of_method(id).len(), 2);
+    let x = (0..p.var_count())
+        .map(jir::VarId::from_usize)
+        .find(|&v| p.var(v).name() == "x")
+        .unwrap();
+    assert_eq!(r.points_to_collapsed(x).len(), 1, "no conflation through id");
+}
+
+#[test]
+fn k1_call_site_matches_manual_expectation() {
+    // Two call sites into the same callee: 1cs gives exactly two callee
+    // contexts, each a single call site.
+    let p = jir::parse(
+        "class A { static method f(v) { return v; } }
+         class Main {
+           entry static method main() {
+             x = new Main;
+             a = call A::f(x);
+             b = call A::f(x);
+             return;
+           }
+         }",
+    )
+    .unwrap();
+    let r = Analysis::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    let a = p.class_by_name("A").unwrap();
+    let f = p.method_by_name(a, "f", 1).unwrap();
+    assert_eq!(r.contexts_of_method(f).len(), 2);
+}

@@ -1,0 +1,144 @@
+//! Cross-validation of the production worklist solver against the
+//! naive round-based reference solver (`pta::naive`): identical
+//! collapsed points-to sets, reachable methods, and call-graph edges
+//! on small programs, for every context sensitivity and heap
+//! abstraction.
+
+use std::collections::BTreeSet;
+
+use pta::{
+    naive::solve_naive, AllocSiteAbstraction, AllocTypeAbstraction, Analysis, AnalysisResult,
+    CallSiteSensitive, ContextInsensitive, ContextSelector, HeapAbstraction, ObjectSensitive,
+    TypeSensitive,
+};
+
+fn collapsed_allocs(p: &jir::Program, r: &AnalysisResult, v: jir::VarId) -> BTreeSet<jir::AllocId> {
+    let _ = p;
+    r.points_to_collapsed(v)
+        .into_iter()
+        .map(|o| r.obj_alloc(o))
+        .collect()
+}
+
+fn check<S: ContextSelector + Clone, H: HeapAbstraction + Clone>(
+    label: &str,
+    program: &jir::Program,
+    selector: S,
+    heap: H,
+) {
+    let fast = Analysis::new(selector.clone(), heap.clone())
+        .run(program)
+        .expect("fits budget");
+    let slow = solve_naive(program, &selector, &heap);
+
+    // Reachable methods.
+    let fast_reach: BTreeSet<jir::MethodId> = program
+        .method_ids()
+        .filter(|&m| fast.is_reachable(m))
+        .collect();
+    assert_eq!(fast_reach, slow.reachable_methods(), "{label}: reachability");
+
+    // Call-graph edges.
+    let fast_edges: BTreeSet<(jir::CallSiteId, jir::MethodId)> =
+        fast.call_graph_edges().collect();
+    let slow_edges: BTreeSet<(jir::CallSiteId, jir::MethodId)> =
+        slow.call_edges.iter().copied().collect();
+    assert_eq!(fast_edges, slow_edges, "{label}: call graph");
+
+    // Collapsed per-variable points-to, as allocation sites.
+    for v in (0..program.var_count()).map(jir::VarId::from_usize) {
+        let f = collapsed_allocs(program, &fast, v);
+        let s = slow.var_points_to_allocs(v);
+        assert_eq!(
+            f,
+            s,
+            "{label}: variable {} ({:?})",
+            program.var(v).name(),
+            v
+        );
+    }
+}
+
+fn check_all(program: &jir::Program) {
+    check("ci", program, ContextInsensitive, AllocSiteAbstraction);
+    check("1cs", program, CallSiteSensitive::new(1), AllocSiteAbstraction);
+    check("2cs", program, CallSiteSensitive::new(2), AllocSiteAbstraction);
+    check("2obj", program, ObjectSensitive::new(2), AllocSiteAbstraction);
+    check("3obj", program, ObjectSensitive::new(3), AllocSiteAbstraction);
+    check("2type", program, TypeSensitive::new(2), AllocSiteAbstraction);
+    check(
+        "T-ci",
+        program,
+        ContextInsensitive,
+        AllocTypeAbstraction::new(program),
+    );
+}
+
+#[test]
+fn figures_match_reference() {
+    for p in [
+        workloads::figures::figure1(),
+        workloads::figures::figure3(),
+        workloads::figures::figure6(),
+        workloads::figures::figure7(),
+    ] {
+        check_all(&p);
+    }
+}
+
+#[test]
+fn recursive_and_cyclic_programs_match_reference() {
+    let programs = [
+        // Mutual recursion with allocation.
+        "class A {
+           method ping(this, v) { w = new A; r = virt this.pong(w); return r; }
+           method pong(this, v) { r = virt this.ping(v); return v; }
+         }
+         class Main {
+           entry static method main() { a = new A; x = new A; r = virt a.ping(x); return; } }",
+        // Cyclic heap structure.
+        "class N { field next: N; }
+         class Main {
+           entry static method main() {
+             a = new N; b = new N;
+             a.next = b; b.next = a;
+             c = a.next; d = c.next; e = d.next;
+             return;
+           } }",
+        // Polymorphic dispatch through a container.
+        "class Base { method go(this) { return; } }
+         class S1 extends Base { method go(this) { return; } }
+         class S2 extends Base { method go(this) { return; } }
+         class Holder { field h: Base;
+           method put(this, v) { this.h = v; return; }
+           method take(this) { r = this.h; return r; } }
+         class Main {
+           entry static method main() {
+             h1 = new Holder; h2 = new Holder;
+             s1 = new S1; s2 = new S2;
+             virt h1.put(s1); virt h2.put(s2);
+             g = virt h1.take();
+             virt g.go();
+             return;
+           } }",
+    ];
+    for src in programs {
+        let p = jir::parse(src).expect("parses");
+        check_all(&p);
+    }
+}
+
+#[test]
+fn small_generated_workloads_match_reference() {
+    for seed in 0..4u64 {
+        let mut profile = workloads::Profile::small(&format!("ref{seed}"), seed + 11);
+        // Keep the naive solver's rounds affordable.
+        profile.modules = 2;
+        profile.methods_per_module = 2;
+        profile.blocks_per_method = 2;
+        profile.wrapper_chain = 3;
+        profile.wrapper_sites = 3;
+        let w = workloads::generate(&profile);
+        check_all(&w.program);
+    }
+}

@@ -1,0 +1,121 @@
+//! Coverage for the `AnalysisResult` query surface: per-context
+//! queries, field and static points-to, statistics, and call-graph
+//! accessors.
+
+use pta::{AllocSiteAbstraction, Analysis, CallSiteSensitive, ContextInsensitive};
+
+fn program() -> jir::Program {
+    jir::parse(
+        "class G { static field root: Object; }
+         class Box { field val: Object; }
+         class P { }
+         class Main {
+           static method fill(b, v) { b.val = v; return; }
+           entry static method main() {
+             b = new Box;
+             p = new P;
+             call Main::fill(b, p);
+             G.root = p;
+             w = G.root;
+             g = b.val;
+             return;
+           }
+         }",
+    )
+    .unwrap()
+}
+
+fn var(p: &jir::Program, name: &str) -> jir::VarId {
+    (0..p.var_count())
+        .map(jir::VarId::from_usize)
+        .find(|&v| p.var(v).name() == name)
+        .unwrap()
+}
+
+#[test]
+fn field_and_static_points_to_are_queryable() {
+    let p = program();
+    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+
+    // The Box object's val field points to the P object.
+    let b_objs = r.points_to_collapsed(var(&p, "b"));
+    assert_eq!(b_objs.len(), 1);
+    let cls = p.class_by_name("Box").unwrap();
+    let val = p.field_by_name(cls, "val").unwrap();
+    let field_pts = r.field_points_to(b_objs[0], val);
+    assert_eq!(field_pts.len(), 1);
+    assert_eq!(p.type_name(r.obj_type(field_pts[0])), "P");
+
+    // The static field points to the same P object.
+    let g = p.class_by_name("G").unwrap();
+    let root = p.field_by_name(g, "root").unwrap();
+    assert_eq!(r.static_points_to(root), field_pts);
+
+    // field_pointers() enumerates the val fact.
+    let facts: Vec<_> = r.field_pointers().collect();
+    assert!(facts
+        .iter()
+        .any(|(obj, f, pts)| *obj == b_objs[0] && *f == val && !pts.is_empty()));
+}
+
+#[test]
+fn per_context_points_to_differs_from_collapsed() {
+    let p = jir::parse(
+        "class A { static method id(v) { return v; } }
+         class P { } class Q { }
+         class Main {
+           entry static method main() {
+             p = new P; q = new Q;
+             x = call A::id(p);
+             y = call A::id(q);
+             return;
+           }
+         }",
+    )
+    .unwrap();
+    let r = Analysis::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    let a = p.class_by_name("A").unwrap();
+    let id = p.method_by_name(a, "id", 1).unwrap();
+    let v_param = p.method(id).params()[0];
+    // Collapsed: both objects; per context: exactly one each.
+    assert_eq!(r.points_to_collapsed(v_param).len(), 2);
+    let ctxs = r.contexts_of_method(id);
+    assert_eq!(ctxs.len(), 2);
+    for &ctx in ctxs {
+        assert_eq!(r.points_to(ctx, v_param).len(), 1);
+    }
+}
+
+#[test]
+fn stats_track_the_fixpoint() {
+    let p = program();
+    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    let s = r.stats();
+    assert!(s.worklist_pops > 0);
+    assert!(s.propagated_objects > 0);
+    assert!(s.copy_edges > 0);
+    assert_eq!(s.reachable_method_contexts, 2, "main and fill");
+    assert!(s.context_count >= 1);
+    assert!(r.total_points_to_size() >= 4);
+    assert!(r.pointer_count() >= 6);
+    assert!(r.cs_call_graph_edge_count() >= 1);
+}
+
+#[test]
+fn call_targets_and_edges_agree() {
+    let p = program();
+    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    let edges: Vec<_> = r.call_graph_edges().collect();
+    assert_eq!(edges.len(), r.call_graph_edge_count());
+    for &(site, target) in &edges {
+        assert!(r.call_targets(site).contains(&target));
+    }
+}

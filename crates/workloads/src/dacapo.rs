@@ -1,0 +1,128 @@
+//! Named profiles mimicking the paper's 12 evaluation programs.
+//!
+//! The paper evaluates on the standard DaCapo benchmarks (minus jython
+//! and hsqldb) plus findbugs, checkstyle, and JPC, all against
+//! JDK 1.6. We cannot ship those jars, so each name maps to a seeded
+//! profile whose *relative* size and heap character follow the paper's
+//! reported statistics (Figure 8: eclipse largest at 19,529 objects,
+//! luindex smallest at 6,190; Section 6.1.1: average NFA sizes from 356
+//! in luindex to 3,789 in eclipse). Absolute sizes are scaled down to
+//! laptop budgets; the cross-program ordering is preserved.
+
+use crate::generator::{generate, Profile, Workload};
+
+/// The 12 benchmark names, in the paper's reporting order.
+pub const PROGRAMS: [&str; 12] = [
+    "antlr",
+    "bloat",
+    "chart",
+    "eclipse",
+    "fop",
+    "luindex",
+    "lusearch",
+    "pmd",
+    "xalan",
+    "checkstyle",
+    "findbugs",
+    "jpc",
+];
+
+/// Returns the profile for one of the 12 benchmark names, scaled by
+/// `scale` (1 = the default laptop-sized configuration; larger values
+/// grow module and method counts roughly linearly).
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`PROGRAMS`].
+pub fn profile(name: &str, scale: usize) -> Profile {
+    let scale = scale.max(1);
+    // (seed, modules, methods/module, blocks/method, hierarchies,
+    //  subclasses, hetero, helper_frac, helper_depth, wrap_sites, wrap_chain)
+    let (seed, modules, mpm, bpm, hier, subs, hetero, helpf, helpd, wsites, wchain) = match name {
+        "antlr" => (11, 6, 5, 4, 4, 3, 0.15, 0.35, 3, 14, 24),
+        "bloat" => (13, 7, 6, 4, 5, 3, 0.25, 0.40, 3, 20, 32),
+        "chart" => (17, 8, 6, 4, 5, 4, 0.20, 0.30, 2, 16, 28),
+        "eclipse" => (19, 12, 7, 5, 7, 4, 0.25, 0.40, 4, 30, 48),
+        "fop" => (23, 7, 6, 4, 5, 3, 0.20, 0.35, 3, 18, 28),
+        "luindex" => (29, 4, 4, 3, 3, 3, 0.10, 0.25, 2, 8, 10),
+        "lusearch" => (31, 4, 5, 3, 3, 3, 0.12, 0.25, 2, 9, 12),
+        "pmd" => (37, 8, 6, 5, 6, 4, 0.22, 0.40, 3, 24, 40),
+        "xalan" => (41, 7, 6, 4, 5, 3, 0.18, 0.35, 3, 20, 30),
+        "checkstyle" => (43, 8, 6, 4, 6, 4, 0.20, 0.35, 3, 18, 26),
+        "findbugs" => (47, 9, 6, 5, 6, 4, 0.25, 0.40, 3, 26, 42),
+        "jpc" => (53, 10, 6, 5, 6, 4, 0.22, 0.40, 3, 28, 44),
+        other => panic!("unknown benchmark `{other}`"),
+    };
+    Profile {
+        name: name.to_owned(),
+        seed,
+        hierarchies: hier,
+        subclasses_per_hierarchy: subs,
+        modules: modules * scale,
+        methods_per_module: mpm,
+        blocks_per_method: bpm,
+        hetero_fraction: hetero,
+        helper_fraction: helpf,
+        helper_depth: helpd,
+        wrapper_sites: wsites,
+        wrapper_chain: wchain,
+    }
+}
+
+/// Generates the named benchmark at the given scale.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of [`PROGRAMS`].
+pub fn workload(name: &str, scale: usize) -> Workload {
+    generate(&profile(name, scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_generate_valid() {
+        for name in PROGRAMS {
+            let w = workload(name, 1);
+            assert!(w.program.alloc_count() > 50, "{name} too small");
+            assert!(w.program.cast_count() > 5, "{name} needs casts");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = workload("pmd", 1);
+        let b = workload("pmd", 1);
+        assert_eq!(a.program.alloc_count(), b.program.alloc_count());
+        assert_eq!(a.program.to_string(), b.program.to_string());
+    }
+
+    #[test]
+    fn scale_grows_the_program() {
+        let s1 = workload("luindex", 1);
+        let s2 = workload("luindex", 2);
+        assert!(s2.program.alloc_count() > s1.program.alloc_count());
+    }
+
+    #[test]
+    fn eclipse_is_largest_luindex_smallest() {
+        let sizes: Vec<(String, usize)> = PROGRAMS
+            .iter()
+            .map(|&n| (n.to_owned(), workload(n, 1).program.alloc_count()))
+            .collect();
+        let eclipse = sizes.iter().find(|(n, _)| n == "eclipse").unwrap().1;
+        let luindex = sizes.iter().find(|(n, _)| n == "luindex").unwrap().1;
+        for (name, s) in &sizes {
+            assert!(eclipse >= *s, "eclipse should be largest, {name} has {s}");
+            assert!(luindex <= *s, "luindex should be smallest, {name} has {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        let _ = profile("notaprogram", 1);
+    }
+}

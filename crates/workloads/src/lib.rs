@@ -1,0 +1,34 @@
+//! # workloads — benchmark programs for the Mahjong reproduction
+//!
+//! Two families of programs:
+//!
+//! - [`figures`] — the paper's worked examples (Figures 1, 3, 6, 7) as
+//!   literal JIR programs, used by the integration tests to check the
+//!   reproduction makes exactly the paper's merging and precision
+//!   decisions;
+//! - [`dacapo`] — seeded synthetic analogues of the 12 evaluation
+//!   programs (DaCapo subset + findbugs/checkstyle/JPC), standing in
+//!   for the real jars we cannot ship (see DESIGN.md, substitution 1),
+//!   built on a mini standard library ([`stdlib`]) with
+//!   `StringBuilder`/`ArrayList`/`HashMap` shapes.
+//!
+//! # Examples
+//!
+//! ```
+//! let w = workloads::dacapo::workload("pmd", 1);
+//! assert!(w.program.alloc_count() > 100);
+//!
+//! let fig1 = workloads::figures::figure1();
+//! assert_eq!(fig1.alloc_count(), 6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod dacapo;
+pub mod figures;
+pub mod generator;
+pub mod samples;
+pub mod stdlib;
+
+pub use generator::{generate, Profile, Workload};

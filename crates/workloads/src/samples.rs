@@ -1,0 +1,159 @@
+//! Curated small programs: classic object-oriented patterns expressed
+//! in JIR, used by documentation, examples, and tests that want
+//! realistic shapes smaller than the synthetic benchmarks.
+//!
+//! Each sample documents what a points-to analysis should conclude
+//! about it and what Mahjong does to its heap.
+
+use jir::Program;
+
+fn must_parse(src: &str) -> Program {
+    jir::parse(src).expect("sample parses")
+}
+
+/// A singly linked list built by a loop-free unrolling: three nodes of
+/// one class, each holding a payload of one type. All nodes are
+/// type-consistent, so Mahjong merges the entire spine.
+pub fn linked_list() -> Program {
+    must_parse(
+        "class Node { field next: Node; field item: Item; }
+         class Item { }
+         class Main {
+           entry static method main() {
+             i1 = new Item; i2 = new Item; i3 = new Item;
+             n1 = new Node; n2 = new Node; n3 = new Node;
+             n1.item = i1; n2.item = i2; n3.item = i3;
+             n1.next = n2; n2.next = n3; n3.next = n3;
+             cur = n1.next;
+             it = cur.item;
+             c = (Item) it;
+             return;
+           }
+         }",
+    )
+}
+
+/// The visitor pattern: two node kinds accept a visitor, double
+/// dispatch resolves per node class. The accept/visit call sites are
+/// the devirtualization targets of interest.
+pub fn visitor() -> Program {
+    must_parse(
+        "interface Shape { abstract method accept(this, v); }
+         class Circle implements Shape {
+           method accept(this, v) { virt v.visitCircle(this); return; }
+         }
+         class Square implements Shape {
+           method accept(this, v) { virt v.visitSquare(this); return; }
+         }
+         class AreaVisitor {
+           method visitCircle(this, c) { return; }
+           method visitSquare(this, s) { return; }
+         }
+         class Main {
+           entry static method main() {
+             v = new AreaVisitor;
+             s = new Circle;
+             virt s.accept(v);
+             t = new Square;
+             virt t.accept(v);
+             return;
+           }
+         }",
+    )
+}
+
+/// The observer pattern: a subject notifies registered observers
+/// through an interface; the notify site is polymorphic iff observers
+/// of several classes are registered.
+pub fn observer() -> Program {
+    must_parse(
+        "interface Observer { abstract method update(this, e); }
+         class Logger implements Observer {
+           method update(this, e) { return; }
+         }
+         class Mailer implements Observer {
+           method update(this, e) { return; }
+         }
+         class Event { }
+         class Subject {
+           field obs: Observer;
+           method register(this, o) { this.obs = o; return; }
+           method emit(this) {
+             e = new Event;
+             o = this.obs;
+             virt o.update(e);
+             return;
+           }
+         }
+         class Main {
+           entry static method main() {
+             s1 = new Subject;
+             l = new Logger;
+             virt s1.register(l);
+             virt s1.emit();
+             s2 = new Subject;
+             m = new Mailer;
+             virt s2.register(m);
+             virt s2.emit();
+             return;
+           }
+         }",
+    )
+}
+
+/// The decorator pattern: stream wrappers around a base source — the
+/// shape whose receiver chains make k-object-sensitivity expensive and
+/// which Mahjong collapses (all decorators are type-consistent when
+/// they wrap the same interface).
+pub fn decorator() -> Program {
+    must_parse(
+        "interface Source { abstract method read(this); }
+         class FileSource implements Source {
+           method read(this) { b = new Buf; return b; }
+         }
+         class Buf { }
+         class Buffered implements Source {
+           field innerSrc: Source;
+           method read(this) { s = this.innerSrc; r = virt s.read(); return r; }
+         }
+         class Gzip implements Source {
+           field wrapped: Source;
+           method read(this) { s = this.wrapped; r = virt s.read(); return r; }
+         }
+         class Main {
+           entry static method main() {
+             f = new FileSource;
+             b = new Buffered;
+             b.innerSrc = f;
+             g = new Gzip;
+             g.wrapped = b;
+             data = virt g.read();
+             c = (Buf) data;
+             return;
+           }
+         }",
+    )
+}
+
+/// A registry of all samples by name.
+pub fn all() -> Vec<(&'static str, Program)> {
+    vec![
+        ("linked_list", linked_list()),
+        ("visitor", visitor()),
+        ("observer", observer()),
+        ("decorator", decorator()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_samples_parse_and_have_entries() {
+        for (name, p) in all() {
+            assert!(p.alloc_count() > 0, "{name}");
+            assert!(!p.method(p.entry()).body().is_empty(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! A mini standard library emitted into every synthetic workload.
+//!
+//! The paper's benchmarks spend most of their heap on JDK container
+//! machinery — `StringBuilder`s whose nested contents are always
+//! `char[]`, `Object[]`-backed collections, iterators, and boxed values
+//! (see Table 1). This module recreates those shapes with *deep internal
+//! call chains and internal allocation*, because that is what makes
+//! context-sensitive analysis expensive under the allocation-site
+//! abstraction: every distinct container receiver multiplies through the
+//! container's internal methods and the objects they allocate.
+//!
+//! Merging behaviour mirrors the real JDK:
+//!
+//! - `StrBuilder`/`Str`/`Chars`/`IntBox` machinery is type-homogeneous
+//!   all the way down, so Mahjong merges every instance (cf. Table 1's
+//!   1303 mergeable `StringBuilder`s);
+//! - `ArrayList`/`HashMap` share their backing-store allocation sites
+//!   across all instances, so the context-insensitive pre-analysis
+//!   conflates their contents and heterogeneously-used instances stay
+//!   unmerged — exactly like `Object[]` in the paper's Table 1.
+
+use jir::{ClassId, FieldId, JirError, MethodId, ProgramBuilder, TypeId};
+
+/// Handles to every mini-stdlib entity the generator needs.
+#[derive(Clone, Debug)]
+pub struct Std {
+    /// `Chars` — the `char[]` payload stand-in.
+    pub chars: ClassId,
+    /// `Str` — a string: `value: Chars`, `len()`.
+    pub string: ClassId,
+    /// `Str.value`.
+    pub str_value: FieldId,
+    /// `StrBuilder` — `sbValue: Chars`; `append`, `ensure`, `to_str`.
+    pub string_builder: ClassId,
+    /// `StrBuilder::append(c)` returns `this`.
+    pub sb_append: MethodId,
+    /// `StrBuilder::to_str()` allocates a fresh `Str`.
+    pub sb_to_str: MethodId,
+    /// `ArrayList` — `elems: Object[]`; `init`, `add`, `get`, `iterator`.
+    pub array_list: ClassId,
+    /// `ArrayList::init()`.
+    pub list_init: MethodId,
+    /// `ArrayList::add(e)`.
+    pub list_add: MethodId,
+    /// `ArrayList::get()`.
+    pub list_get: MethodId,
+    /// `ArrayList::iterator()`.
+    pub list_iterator: MethodId,
+    /// `ListIter` — `owner: ArrayList`; `next`.
+    pub list_iter: ClassId,
+    /// `ListIter::next()`.
+    pub iter_next: MethodId,
+    /// `HashMap` — `table: Entry[]`; `init`, `put`, `get`.
+    pub hash_map: ClassId,
+    /// `HashMap::init()`.
+    pub map_init: MethodId,
+    /// `HashMap::put(k, v)`.
+    pub map_put: MethodId,
+    /// `HashMap::get(k)`.
+    pub map_get: MethodId,
+    /// `Entry` — `key`, `value`, `nextEntry`.
+    pub entry: ClassId,
+    /// `IntBox` — a boxed value: `raw: Chars`, `val()`.
+    pub int_box: ClassId,
+    /// `IntBox.raw`.
+    pub box_raw: FieldId,
+    /// `Holder` — a one-slot box allocated by `Factory::make`.
+    pub holder: ClassId,
+    /// `Holder.slot`.
+    pub holder_slot: FieldId,
+    /// `Factory` — per-module factory: `make()` allocates a `Holder`.
+    pub factory: ClassId,
+    /// `Factory.cfg` — the configuration payload that keeps
+    /// differently-used factories type-inconsistent.
+    pub factory_cfg: FieldId,
+    /// `Node` — a per-use linked node: `item: Object`, `nextNode: Node`.
+    pub node: ClassId,
+    /// `Node.item`.
+    pub node_item: FieldId,
+    /// `Node.nextNode`.
+    pub node_next: FieldId,
+    /// The `Object` root type.
+    pub object_ty: TypeId,
+}
+
+/// Emits the mini standard library into `b`.
+///
+/// # Errors
+///
+/// Propagates builder errors (duplicate declarations) — only possible if
+/// the caller already declared clashing names.
+pub fn emit(b: &mut ProgramBuilder) -> Result<Std, JirError> {
+    let object = b.object_class();
+    let object_ty = b.class_type(object);
+
+    // --- Chars --------------------------------------------------------------
+    // `dup()` gives Chars receivers their own context-bearing method.
+    let chars = b.declare_class("Chars", None)?;
+    let chars_dup = b.declare_method(chars, "dup", 0)?;
+    {
+        let mut body = b.body(chars_dup);
+        let c = body.var("c");
+        body.new_object(c, chars);
+        body.ret(Some(c));
+    }
+
+    // --- IntBox -------------------------------------------------------------
+    let int_box = b.declare_class("IntBox", None)?;
+    let raw = b.declare_field(int_box, "raw", b.class_type(chars))?;
+    let box_val = b.declare_method(int_box, "val", 0)?;
+    {
+        let mut body = b.body(box_val);
+        let this = body.this().expect("instance method");
+        let x = body.var("x");
+        body.load(x, this, raw);
+        let d = body.var("d");
+        body.virtual_call(Some(d), x, "dup", &[]);
+        body.ret(Some(x));
+    }
+
+    // --- Str ----------------------------------------------------------------
+    // `len()` allocates an IntBox and drives it — a second nesting level
+    // below every StrBuilder receiver.
+    let string = b.declare_class("Str", None)?;
+    let str_value = b.declare_field(string, "value", b.class_type(chars))?;
+    let str_len = b.declare_method(string, "len", 0)?;
+    {
+        let mut body = b.body(str_len);
+        let this = body.this().expect("instance method");
+        let v = body.var("v");
+        body.load(v, this, str_value);
+        let n = body.var("n");
+        body.new_object(n, int_box);
+        body.store(n, raw, v);
+        let r = body.var("r");
+        body.virtual_call(Some(r), n, "val", &[]);
+        body.ret(Some(n));
+    }
+
+    // --- StrBuilder ----------------------------------------------------------
+    let string_builder = b.declare_class("StrBuilder", None)?;
+    let sb_value = b.declare_field(string_builder, "sbValue", b.class_type(chars))?;
+    let sb_ensure = b.declare_method(string_builder, "ensure", 0)?;
+    {
+        // Growing the buffer allocates a fresh Chars internally — the
+        // `Arrays.copyOf` analogue. Contents stay type-homogeneous.
+        let mut body = b.body(sb_ensure);
+        let this = body.this().expect("instance method");
+        let g = body.var("g");
+        body.new_object(g, chars);
+        let old = body.var("old");
+        body.load(old, this, sb_value);
+        let d = body.var("d");
+        body.virtual_call(Some(d), old, "dup", &[]);
+        body.store(this, sb_value, g);
+        body.ret(None);
+    }
+    let sb_append = b.declare_method(string_builder, "append", 1)?;
+    {
+        let mut body = b.body(sb_append);
+        let this = body.this().expect("instance method");
+        let c = body.param(0);
+        body.virtual_call(None, this, "ensure", &[]);
+        body.store(this, sb_value, c);
+        body.ret(Some(this));
+    }
+    let sb_to_str = b.declare_method(string_builder, "to_str", 0)?;
+    {
+        let mut body = b.body(sb_to_str);
+        let this = body.this().expect("instance method");
+        let s = body.var("s");
+        let v = body.var("v");
+        body.new_object(s, string);
+        body.load(v, this, sb_value);
+        body.store(s, str_value, v);
+        body.ret(Some(s));
+    }
+    let _ = str_len;
+
+    // --- ArrayList / ListIter --------------------------------------------------
+    let array_list = b.declare_class("ArrayList", None)?;
+    let list_iter = b.declare_class("ListIter", None)?;
+    let object_array_ty = b.array_type(object_ty);
+    let elems = b.declare_field(array_list, "elems", object_array_ty)?;
+    let owner = b.declare_field(list_iter, "owner", b.class_type(array_list))?;
+
+    let list_init = b.declare_method(array_list, "init", 0)?;
+    {
+        let mut body = b.body(list_init);
+        let this = body.this().expect("instance method");
+        let a = body.var("a");
+        body.new_array(a, object_ty);
+        body.store(this, elems, a);
+        body.ret(None);
+    }
+    // `ensure()` — the shared grow path: a new backing array allocated
+    // inside the library, copying the old contents. This single site is
+    // shared by every ArrayList, conflating their contents under the
+    // pre-analysis (so heterogeneously-used lists never merge), exactly
+    // like `ArrayList.grow` in the JDK.
+    let list_ensure = b.declare_method(array_list, "ensure", 0)?;
+    {
+        let mut body = b.body(list_ensure);
+        let this = body.this().expect("instance method");
+        let g = body.var("g");
+        body.new_array(g, object_ty);
+        let old = body.var("old");
+        body.load(old, this, elems);
+        let x = body.var("x");
+        body.array_load(x, old);
+        body.array_store(g, x);
+        body.store(this, elems, g);
+        body.ret(None);
+    }
+    let list_add = b.declare_method(array_list, "add", 1)?;
+    {
+        let mut body = b.body(list_add);
+        let this = body.this().expect("instance method");
+        let e = body.param(0);
+        body.virtual_call(None, this, "ensure", &[]);
+        let a = body.var("a");
+        body.load(a, this, elems);
+        body.array_store(a, e);
+        body.ret(None);
+    }
+    let list_get = b.declare_method(array_list, "get", 0)?;
+    {
+        let mut body = b.body(list_get);
+        let this = body.this().expect("instance method");
+        let a = body.var("a");
+        let r = body.var("r");
+        body.load(a, this, elems);
+        body.array_load(r, a);
+        body.ret(Some(r));
+    }
+    let list_iterator = b.declare_method(array_list, "iterator", 0)?;
+    {
+        let mut body = b.body(list_iterator);
+        let this = body.this().expect("instance method");
+        let it = body.var("it");
+        body.new_object(it, list_iter);
+        body.store(it, owner, this);
+        body.ret(Some(it));
+    }
+    let iter_next = b.declare_method(list_iter, "next", 0)?;
+    {
+        let mut body = b.body(iter_next);
+        let this = body.this().expect("instance method");
+        let o = body.var("o");
+        let r = body.var("r");
+        body.load(o, this, owner);
+        body.virtual_call(Some(r), o, "get", &[]);
+        body.ret(Some(r));
+    }
+
+    // --- HashMap / Entry ----------------------------------------------------------
+    let hash_map = b.declare_class("HashMap", None)?;
+    let entry = b.declare_class("Entry", None)?;
+    let entry_ty = b.class_type(entry);
+    let entry_array_ty = b.array_type(entry_ty);
+    let table = b.declare_field(hash_map, "table", entry_array_ty)?;
+    let key = b.declare_field(entry, "key", object_ty)?;
+    let value = b.declare_field(entry, "value", object_ty)?;
+    let next = b.declare_field(entry, "nextEntry", entry_ty)?;
+
+    let map_init = b.declare_method(hash_map, "init", 0)?;
+    {
+        let et = b.class_type(entry);
+        let mut body = b.body(map_init);
+        let this = body.this().expect("instance method");
+        let t = body.var("t");
+        body.new_array(t, et);
+        body.store(this, table, t);
+        body.ret(None);
+    }
+    let map_put = b.declare_method(hash_map, "put", 2)?;
+    {
+        let mut body = b.body(map_put);
+        let this = body.this().expect("instance method");
+        let (k, v) = (body.param(0), body.param(1));
+        let e = body.var("e");
+        let t = body.var("t");
+        let old = body.var("old");
+        body.new_object(e, entry);
+        body.store(e, key, k);
+        body.store(e, value, v);
+        body.load(t, this, table);
+        body.array_load(old, t);
+        body.store(e, next, old);
+        body.array_store(t, e);
+        body.ret(None);
+    }
+    let map_get = b.declare_method(hash_map, "get", 1)?;
+    {
+        let mut body = b.body(map_get);
+        let this = body.this().expect("instance method");
+        let _k = body.param(0);
+        let t = body.var("t");
+        let e = body.var("e");
+        let e2 = body.var("e2");
+        let r = body.var("r");
+        body.load(t, this, table);
+        body.array_load(e, t);
+        body.load(e2, e, next);
+        body.load(r, e2, value);
+        let r2 = body.var("r2");
+        body.load(r2, e, value);
+        body.assign(r, r2);
+        body.ret(Some(r));
+    }
+
+    // --- Holder / Factory ------------------------------------------------------------
+    // The one allocation site of `Holder` lives inside an *instance*
+    // method of `Factory`; analyses whose heap contexts separate factory
+    // receivers (k-obj via the factory's allocation site, k-type via its
+    // containing class) keep per-client holders apart, while the
+    // context-insensitive pre-analysis conflates them all — the pattern
+    // that gives type-sensitivity its precision edge over `ci`.
+    let holder = b.declare_class("Holder", None)?;
+    let holder_slot = b.declare_field(holder, "slot", object_ty)?;
+    // The factory carries its configuration. Factories configured with
+    // the same payload type are type-consistent and may merge (harmless:
+    // their holders carry the same type anyway); differently-configured
+    // factories stay apart, so Mahjong preserves k-obj's precision here.
+    let factory = b.declare_class("Factory", None)?;
+    let factory_cfg = b.declare_field(factory, "cfg", object_ty)?;
+    let make = b.declare_method(factory, "make", 0)?;
+    {
+        let mut body = b.body(make);
+        let h = body.var("h");
+        body.new_object(h, holder);
+        body.ret(Some(h));
+    }
+
+    // --- Node (per-use linked node) -------------------------------------------------
+    let node = b.declare_class("Node", None)?;
+    let node_item = b.declare_field(node, "item", object_ty)?;
+    let node_next = b.declare_field(node, "nextNode", b.class_type(node))?;
+
+    Ok(Std {
+        chars,
+        box_raw: raw,
+        holder,
+        holder_slot,
+        factory,
+        factory_cfg,
+        string,
+        str_value,
+        string_builder,
+        sb_append,
+        sb_to_str,
+        array_list,
+        list_init,
+        list_add,
+        list_get,
+        list_iterator,
+        list_iter,
+        iter_next,
+        hash_map,
+        map_init,
+        map_put,
+        map_get,
+        entry,
+        int_box,
+        node,
+        node_item,
+        node_next,
+        object_ty,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdlib_emits_into_fresh_builder() {
+        let mut b = ProgramBuilder::new();
+        let std = emit(&mut b).expect("stdlib emits");
+        // Add an entry so finish() validates.
+        let main_cls = b.declare_class("Main", None).unwrap();
+        let main = b.declare_static_method(main_cls, "main", 0).unwrap();
+        b.set_entry(main);
+        {
+            let mut body = b.body(main);
+            let l = body.var("l");
+            body.new_object(l, std.array_list);
+            body.special_call(None, l, std.list_init, &[]);
+            let e = body.var("e");
+            body.new_object(e, std.int_box);
+            body.virtual_call(None, l, "add", &[e]);
+            let r = body.var("r");
+            body.virtual_call(Some(r), l, "get", &[]);
+            body.ret(None);
+        }
+        let p = b.finish().expect("valid program");
+        assert!(p.class_by_name("ArrayList").is_some());
+        assert!(p.class_by_name("StrBuilder").is_some());
+        assert!(p.class_by_name("HashMap").is_some());
+        assert!(p.class_by_name("Node").is_some());
+    }
+
+    #[test]
+    fn stringbuilder_chain_is_type_homogeneous() {
+        // Everything reachable from a StrBuilder through fields is Chars.
+        let mut b = ProgramBuilder::new();
+        let std = emit(&mut b).unwrap();
+        let main_cls = b.declare_class("Main", None).unwrap();
+        let main = b.declare_static_method(main_cls, "main", 0).unwrap();
+        b.set_entry(main);
+        {
+            let mut body = b.body(main);
+            let sb = body.var("sb");
+            body.new_object(sb, std.string_builder);
+            let c = body.var("c");
+            body.new_object(c, std.chars);
+            let sb2 = body.var("sb2");
+            body.virtual_call(Some(sb2), sb, "append", &[c]);
+            let s = body.var("s");
+            body.virtual_call(Some(s), sb2, "to_str", &[]);
+            let n = body.var("n");
+            body.virtual_call(Some(n), s, "len", &[]);
+            body.ret(None);
+        }
+        let p = b.finish().unwrap();
+        let sb_cls = p.class_by_name("StrBuilder").unwrap();
+        let f = p.field_by_name(sb_cls, "sbValue").unwrap();
+        assert_eq!(p.type_name(p.field(f).ty()), "Chars");
+    }
+}

@@ -1,0 +1,85 @@
+//! Head-to-head heap abstractions on a realistic workload: the
+//! allocation-site abstraction, the naive allocation-type abstraction
+//! (paper Section 2.1), and Mahjong — the experiment the paper's
+//! introduction motivates.
+//!
+//! ```text
+//! cargo run --release --example heap_abstraction_compare [program] [scale]
+//! ```
+
+use std::time::Instant;
+
+use clients::ClientMetrics;
+use mahjong::{build_heap_abstraction, MahjongConfig};
+use pta::{AllocSiteAbstraction, AllocTypeAbstraction, Analysis, Budget, ObjectSensitive};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "pmd".to_owned());
+    let scale = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let workload = workloads::dacapo::workload(&name, scale);
+    let program = &workload.program;
+    println!(
+        "{name} (scale {scale}): {} classes, {} allocation sites, {} call sites",
+        program.class_count(),
+        program.alloc_count(),
+        program.call_site_count()
+    );
+
+    let pre = pta::pre_analysis(program)?;
+    let out = build_heap_abstraction(program, &pre, &MahjongConfig::default());
+    println!(
+        "mahjong merged {} sites into {} abstract objects ({:.0}% reduction)\n",
+        out.stats.objects,
+        out.stats.merged_objects,
+        100.0 * (1.0 - out.stats.merged_objects as f64 / out.stats.objects as f64)
+    );
+
+    println!("{:<22} {:>9} {:>12} {:>12} {:>12}", "config", "time", "#cg edges", "#poly", "#fail-casts");
+    let budget = Budget::seconds(120);
+    let report = |label: &str, r: Result<pta::AnalysisResult, pta::Unscalable>, t: Instant| {
+        match r {
+            Ok(r) => {
+                let m = ClientMetrics::compute(program, &r);
+                println!(
+                    "{:<22} {:>8.3}s {:>12} {:>12} {:>12}",
+                    label,
+                    t.elapsed().as_secs_f64(),
+                    m.call_graph_edges,
+                    m.poly_call_sites,
+                    m.may_fail_casts
+                );
+            }
+            Err(e) => println!("{label:<22} unscalable: {e}"),
+        }
+    };
+
+    let t = Instant::now();
+    report(
+        "2obj (alloc-site)",
+        Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+            .with_budget(budget)
+            .run(program),
+        t,
+    );
+    let t = Instant::now();
+    report(
+        "T-2obj (alloc-type)",
+        Analysis::new(ObjectSensitive::new(2), AllocTypeAbstraction::new(program))
+            .with_budget(budget)
+            .run(program),
+        t,
+    );
+    let t = Instant::now();
+    report(
+        "M-2obj (mahjong)",
+        Analysis::new(ObjectSensitive::new(2), out.mom.clone())
+            .with_budget(budget)
+            .run(program),
+        t,
+    );
+    println!("\nexpected shape: T- fastest but least precise; M- nearly as fast with baseline precision");
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! The tradeoff the paper designs for: Mahjong preserves precision for
+//! *type-dependent* clients but deliberately gives up *may-alias*
+//! precision (paper Section 1 — the allocation-site abstraction
+//! "maximizes the precision for may-alias"; Mahjong targets "clients
+//! whose precision depends on the types of pointed-to objects rather
+//! than the pointed-to objects themselves").
+
+use clients::alias::program_alias_stats;
+use clients::ClientMetrics;
+use mahjong::{build_heap_abstraction, MahjongConfig};
+use pta::{AllocSiteAbstraction, Analysis, ObjectSensitive};
+
+#[test]
+fn mahjong_trades_alias_precision_for_speed_not_type_precision() {
+    // Two StrBuilder-like containers with identical shapes: Mahjong
+    // merges them (good for type clients) which makes their handles
+    // alias (bad for alias clients).
+    let p = jir::parse(
+        "class Chars { }
+         class Sb {
+           field buf: Chars;
+           method fill(this, c) { this.buf = c; return; }
+         }
+         class Main {
+           entry static method main() {
+             s1 = new Sb;
+             s2 = new Sb;
+             c1 = new Chars;
+             c2 = new Chars;
+             virt s1.fill(c1);
+             virt s2.fill(c2);
+             g1 = s1.buf;
+             g2 = s2.buf;
+             k1 = (Chars) g1;
+             return;
+           }
+         }",
+    )
+    .unwrap();
+    let pre = pta::pre_analysis(&p).unwrap();
+    let out = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
+    assert!(
+        out.mom.classes().iter().any(|c| c.len() > 1),
+        "the two Sb containers merge"
+    );
+
+    let base = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+        .run(&p)
+        .unwrap();
+    let merged = Analysis::new(ObjectSensitive::new(2), out.mom)
+        .run(&p)
+        .unwrap();
+
+    // Type-dependent clients: identical.
+    let bm = ClientMetrics::compute(&p, &base);
+    let mm = ClientMetrics::compute(&p, &merged);
+    assert_eq!(bm.call_graph_edges, mm.call_graph_edges);
+    assert_eq!(bm.poly_call_sites, mm.poly_call_sites);
+    assert_eq!(bm.may_fail_casts, mm.may_fail_casts);
+
+    // May-alias: strictly worse under Mahjong — s1/s2 now alias.
+    let base_alias = program_alias_stats(&p, &base);
+    let merged_alias = program_alias_stats(&p, &merged);
+    assert!(
+        merged_alias.aliased > base_alias.aliased,
+        "merging introduces spurious aliases: {} vs {}",
+        merged_alias.aliased,
+        base_alias.aliased
+    );
+}
+
+#[test]
+fn alias_regression_is_substantial_on_workloads() {
+    // On a realistic workload the alias-pair count visibly grows while
+    // every type-dependent metric stays identical — quantifying the
+    // "appropriate for classes of clients" thesis (the Ryder quote the
+    // paper opens with).
+    let w = workloads::dacapo::workload("luindex", 1);
+    let p = &w.program;
+    let pre = pta::pre_analysis(p).unwrap();
+    let out = build_heap_abstraction(p, &pre, &MahjongConfig::default());
+
+    let base = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+        .run(p)
+        .unwrap();
+    let merged = Analysis::new(ObjectSensitive::new(2), out.mom)
+        .run(p)
+        .unwrap();
+
+    let bm = ClientMetrics::compute(p, &base);
+    let mm = ClientMetrics::compute(p, &merged);
+    assert_eq!(bm.may_fail_casts, mm.may_fail_casts);
+    assert_eq!(bm.poly_call_sites, mm.poly_call_sites);
+
+    let base_alias = program_alias_stats(p, &base);
+    let merged_alias = program_alias_stats(p, &merged);
+    assert!(
+        merged_alias.aliased >= base_alias.aliased,
+        "alias pairs never shrink under merging"
+    );
+    assert!(
+        merged_alias.aliased > base_alias.aliased,
+        "and grow on container-heavy code ({} vs {})",
+        merged_alias.aliased,
+        base_alias.aliased
+    );
+}

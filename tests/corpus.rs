@@ -1,0 +1,56 @@
+//! The `corpus/` directory: shippable `.jir` sample files must parse,
+//! analyze, and merge as their header comments promise.
+
+use clients::ClientMetrics;
+use mahjong::{build_heap_abstraction, MahjongConfig};
+use pta::{Analysis, ContextInsensitive};
+
+fn load(name: &str) -> jir::Program {
+    let path = format!("{}/../../corpus/{name}.jir", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    jir::parse(&src).unwrap_or_else(|e| panic!("parse {name}: {e}"))
+}
+
+#[test]
+fn figure1_corpus_file_matches_the_paper() {
+    let p = load("figure1");
+    let pre = pta::pre_analysis(&p).unwrap();
+    let out = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
+    assert_eq!(out.stats.objects, 6);
+    assert_eq!(out.stats.merged_objects, 4);
+    let r = Analysis::new(ContextInsensitive, out.mom).run(&p).unwrap();
+    let m = ClientMetrics::compute(&p, &r);
+    assert_eq!(m.poly_call_sites, 0);
+    assert_eq!(m.may_fail_casts, 0);
+}
+
+#[test]
+fn decorator_corpus_file_merges_nothing_unsound() {
+    let p = load("decorator");
+    let pre = pta::pre_analysis(&p).unwrap();
+    let out = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
+    let r = Analysis::new(ContextInsensitive, out.mom).run(&p).unwrap();
+    assert_eq!(
+        ClientMetrics::compute(&p, &r).may_fail_casts,
+        0,
+        "(Buf) data stays safe after merging"
+    );
+}
+
+#[test]
+fn containers_corpus_file_splits_by_contents() {
+    let p = load("containers");
+    let pre = pta::pre_analysis(&p).unwrap();
+    let out = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
+    // The two apple-holding cells merge; the brick-holding cell does not.
+    let cell_sizes: Vec<usize> = out
+        .mom
+        .classes()
+        .into_iter()
+        .filter(|c| p.type_name(p.alloc(c[0]).ty()) == "Cell")
+        .map(|c| c.len())
+        .collect();
+    assert_eq!(cell_sizes, vec![2, 1]);
+    let r = Analysis::new(ContextInsensitive, out.mom).run(&p).unwrap();
+    assert_eq!(ClientMetrics::compute(&p, &r).may_fail_casts, 0);
+}

@@ -1,0 +1,131 @@
+//! End-to-end pipeline tests over all 12 benchmark programs: generate,
+//! pre-analyze, merge, re-analyze — checking structural invariants of
+//! every stage.
+
+use mahjong::{build_with_fpg, MahjongConfig};
+use pta::{Analysis, Budget, HeapAbstraction, ObjectSensitive};
+
+#[test]
+fn full_pipeline_on_all_programs() {
+    for name in workloads::dacapo::PROGRAMS {
+        let w = workloads::dacapo::workload(name, 1);
+        let p = &w.program;
+        let pre = pta::pre_analysis(p).unwrap_or_else(|e| panic!("{name}: ci {e}"));
+
+        // The context-insensitive pre-analysis creates exactly one
+        // abstract object per reachable allocation site.
+        assert_eq!(
+            pre.object_count(),
+            pre.objects()
+                .map(|o| pre.obj_alloc(o))
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            "{name}: ci objects are per-site"
+        );
+
+        let (fpg, out) = build_with_fpg(p, &pre, &MahjongConfig::default());
+
+        // Every reachable site is covered by the map; representatives
+        // are fixed points; merged classes are type-homogeneous.
+        assert_eq!(out.mom.len(), p.alloc_count());
+        for alloc in fpg.present_allocs() {
+            let rep = out.mom.repr(alloc);
+            assert_eq!(out.mom.repr(rep), rep, "{name}: idempotent");
+            assert_eq!(
+                p.alloc(alloc).ty(),
+                p.alloc(rep).ty(),
+                "{name}: same-type merging only"
+            );
+        }
+
+        // Unreachable sites stay singletons.
+        for i in 0..p.alloc_count() {
+            let a = jir::AllocId::from_usize(i);
+            if !fpg.is_present(a) {
+                assert_eq!(out.mom.repr(a), a, "{name}: unreachable sites untouched");
+            }
+        }
+
+        // The merged analysis runs and produces no more objects than
+        // classes (plus heap-context variation).
+        let r = Analysis::new(ObjectSensitive::new(2), out.mom.clone())
+            .with_budget(Budget::seconds(120))
+            .run(p)
+            .unwrap_or_else(|e| panic!("{name}: M-2obj {e}"));
+        assert!(r.reachable_method_count() > 0);
+        // Merged objects are modeled context-insensitively, so each
+        // merged class contributes exactly one abstract object.
+        let merged_reprs: std::collections::HashSet<_> = fpg
+            .present_allocs()
+            .filter(|&a| out.mom.is_merged(a))
+            .map(|a| out.mom.repr(a))
+            .collect();
+        for obj in r.objects() {
+            let alloc = r.obj_alloc(obj);
+            if merged_reprs.contains(&alloc) {
+                assert_eq!(
+                    r.contexts().elems(r.obj_heap_context(obj)).len(),
+                    0,
+                    "{name}: merged objects are context-insensitive"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fpg_reflects_field_points_to() {
+    let w = workloads::dacapo::workload("luindex", 1);
+    let p = &w.program;
+    let pre = pta::pre_analysis(p).unwrap();
+    let (fpg, _) = build_with_fpg(p, &pre, &MahjongConfig::default());
+
+    // Every FPG edge between allocation nodes corresponds to a
+    // pre-analysis field points-to fact, and vice versa.
+    let mut fact_count = 0usize;
+    for (obj, field, pts) in pre.field_pointers() {
+        let from = pre.obj_alloc(obj);
+        for target in pts {
+            let to = pre.obj_alloc(target);
+            fact_count += 1;
+            assert!(
+                fpg.successors(mahjong::FpgNode::Alloc(from), field)
+                    .contains(&mahjong::FpgNode::Alloc(to)),
+                "missing FPG edge {from:?}.{field:?} -> {to:?}"
+            );
+        }
+    }
+    assert!(fact_count > 0, "the workload has field facts");
+}
+
+#[test]
+fn unscalable_budget_is_reported() {
+    // With a zero-second budget, any analysis on a non-trivial program
+    // reports Unscalable instead of hanging or panicking.
+    let w = workloads::dacapo::workload("eclipse", 1);
+    let err = Analysis::new(ObjectSensitive::new(3), pta::AllocSiteAbstraction)
+        .with_budget(Budget {
+            time_limit: std::time::Duration::from_millis(0),
+        })
+        .run(&w.program)
+        .unwrap_err();
+    assert!(err.to_string().contains("exceeded its budget"));
+}
+
+#[test]
+fn generated_programs_roundtrip_through_parser() {
+    // The pretty-printed form of a generated program re-parses into an
+    // equivalent program (same entity counts, same analysis results).
+    let w = workloads::dacapo::workload("lusearch", 1);
+    let printed = w.program.to_string();
+    let reparsed = jir::parse(&printed).expect("printed program re-parses");
+    assert_eq!(w.program.class_count(), reparsed.class_count());
+    assert_eq!(w.program.alloc_count(), reparsed.alloc_count());
+    assert_eq!(w.program.call_site_count(), reparsed.call_site_count());
+    assert_eq!(w.program.cast_count(), reparsed.cast_count());
+
+    let r1 = pta::pre_analysis(&w.program).unwrap();
+    let r2 = pta::pre_analysis(&reparsed).unwrap();
+    assert_eq!(r1.object_count(), r2.object_count());
+    assert_eq!(r1.call_graph_edge_count(), r2.call_graph_edge_count());
+}

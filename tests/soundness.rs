@@ -1,0 +1,276 @@
+//! Soundness testing against a concrete interpreter: every points-to
+//! fact observed in a real (bounded) execution must be covered by the
+//! static analysis, for every heap abstraction and context sensitivity.
+//!
+//! The interpreter executes JIR directly — objects are tagged with
+//! their allocation sites — and records `(variable, allocation site)`
+//! observations at every assignment. A sound analysis must report, for
+//! each observation, an abstract object whose representative site is
+//! the abstraction's image of the concrete site.
+
+use std::collections::HashMap;
+
+use jir::{CallKind, CallTarget, MethodId, Program, Stmt, VarId};
+use mahjong::{build_heap_abstraction, MahjongConfig};
+use pta::{
+    AllocSiteAbstraction, AllocTypeAbstraction, Analysis, AnalysisResult, CallSiteSensitive,
+    ContextInsensitive, HeapAbstraction, ObjectSensitive, TypeSensitive,
+};
+
+/// A concrete heap object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct ConcreteObj(usize);
+
+#[derive(Default)]
+struct Interp {
+    /// Object store: per object, its allocation site and fields.
+    alloc_of: Vec<jir::AllocId>,
+    fields: Vec<HashMap<jir::FieldId, ConcreteObj>>,
+    statics: HashMap<jir::FieldId, ConcreteObj>,
+    /// Every (var, alloc-site) binding observed.
+    observations: Vec<(VarId, jir::AllocId)>,
+    steps: usize,
+}
+
+impl Interp {
+    const MAX_STEPS: usize = 20_000;
+    const MAX_DEPTH: usize = 48;
+
+    fn new_object(&mut self, site: jir::AllocId) -> ConcreteObj {
+        let id = ConcreteObj(self.alloc_of.len());
+        self.alloc_of.push(site);
+        self.fields.push(HashMap::new());
+        id
+    }
+
+    fn run(&mut self, program: &Program) {
+        self.call(program, program.entry(), None, &[], 0);
+    }
+
+    /// Executes a method body; returns the value of the last `return`.
+    fn call(
+        &mut self,
+        program: &Program,
+        method: MethodId,
+        this: Option<ConcreteObj>,
+        args: &[Option<ConcreteObj>],
+        depth: usize,
+    ) -> Option<ConcreteObj> {
+        if depth > Self::MAX_DEPTH || self.steps > Self::MAX_STEPS {
+            return None;
+        }
+        let m = program.method(method);
+        let mut locals: HashMap<VarId, ConcreteObj> = HashMap::new();
+        let observe = |obs: &mut Vec<(VarId, jir::AllocId)>,
+                           locals: &mut HashMap<VarId, ConcreteObj>,
+                           alloc_of: &[jir::AllocId],
+                           v: VarId,
+                           o: ConcreteObj| {
+            locals.insert(v, o);
+            obs.push((v, alloc_of[o.0]));
+        };
+        if let (Some(tv), Some(obj)) = (m.this(), this) {
+            observe(&mut self.observations, &mut locals, &self.alloc_of, tv, obj);
+        }
+        for (i, &p) in m.params().iter().enumerate() {
+            if let Some(Some(obj)) = args.get(i) {
+                observe(&mut self.observations, &mut locals, &self.alloc_of, p, *obj);
+            }
+        }
+        let mut ret = None;
+        let body: Vec<Stmt> = m.body().to_vec();
+        for stmt in body {
+            self.steps += 1;
+            if self.steps > Self::MAX_STEPS {
+                break;
+            }
+            match stmt {
+                Stmt::New { lhs, site } => {
+                    let obj = self.new_object(site);
+                    observe(&mut self.observations, &mut locals, &self.alloc_of, lhs, obj);
+                }
+                Stmt::Assign { lhs, rhs } => {
+                    if let Some(&o) = locals.get(&rhs) {
+                        observe(&mut self.observations, &mut locals, &self.alloc_of, lhs, o);
+                    }
+                }
+                Stmt::Load { lhs, base, field } => {
+                    if let Some(&b) = locals.get(&base) {
+                        if let Some(&o) = self.fields[b.0].get(&field) {
+                            observe(&mut self.observations, &mut locals, &self.alloc_of, lhs, o);
+                        }
+                    }
+                }
+                Stmt::Store { base, field, rhs } => {
+                    if let (Some(&b), Some(&r)) = (locals.get(&base), locals.get(&rhs)) {
+                        self.fields[b.0].insert(field, r);
+                    }
+                }
+                Stmt::StaticLoad { lhs, field } => {
+                    if let Some(&o) = self.statics.get(&field) {
+                        observe(&mut self.observations, &mut locals, &self.alloc_of, lhs, o);
+                    }
+                }
+                Stmt::StaticStore { field, rhs } => {
+                    if let Some(&r) = locals.get(&rhs) {
+                        self.statics.insert(field, r);
+                    }
+                }
+                Stmt::Cast { lhs, rhs, site } => {
+                    if let Some(&r) = locals.get(&rhs) {
+                        let target = program.cast(site).target_ty();
+                        let rt = program.alloc(self.alloc_of[r.0]).ty();
+                        // A failing cast throws; model as "no value".
+                        if program.is_subtype(rt, target) {
+                            observe(&mut self.observations, &mut locals, &self.alloc_of, lhs, r);
+                        }
+                    }
+                }
+                Stmt::Call(site_id) => {
+                    let cs = program.call_site(site_id).clone();
+                    let arg_vals: Vec<Option<ConcreteObj>> =
+                        cs.args().iter().map(|a| locals.get(a).copied()).collect();
+                    let recv = cs.kind().receiver().and_then(|r| locals.get(&r).copied());
+                    let target = match (cs.kind(), cs.target()) {
+                        (CallKind::Virtual { .. }, CallTarget::Signature { name, arity }) => {
+                            recv.and_then(|r| {
+                                let ty = program.alloc(self.alloc_of[r.0]).ty();
+                                program.dispatch(ty, name, *arity)
+                            })
+                        }
+                        (_, CallTarget::Exact(t)) => Some(*t),
+                        _ => None,
+                    };
+                    let returned = match target {
+                        Some(t) if !program.method(t).is_abstract() => {
+                            let needs_recv =
+                                matches!(cs.kind(), CallKind::Virtual { .. } | CallKind::Special { .. });
+                            // A virtual call on null (no receiver value)
+                            // throws; skip it.
+                            if needs_recv && recv.is_none() {
+                                None
+                            } else {
+                                self.call(program, t, recv, &arg_vals, depth + 1)
+                            }
+                        }
+                        _ => None,
+                    };
+                    if let (Some(res), Some(o)) = (cs.result(), returned) {
+                        observe(&mut self.observations, &mut locals, &self.alloc_of, res, o);
+                    }
+                }
+                Stmt::Return { value } => {
+                    if let Some(v) = value {
+                        if let Some(&o) = locals.get(&v) {
+                            ret = Some(o);
+                        }
+                    }
+                }
+            }
+        }
+        ret
+    }
+}
+
+/// Checks that every interpreter observation is covered by `result`
+/// under the heap abstraction `repr` function.
+fn assert_sound(
+    label: &str,
+    program: &Program,
+    result: &AnalysisResult,
+    observations: &[(VarId, jir::AllocId)],
+    repr: impl Fn(jir::AllocId) -> jir::AllocId,
+) {
+    // Deduplicate observations and cache collapsed points-to sets per
+    // variable — executions repeat the same bindings constantly.
+    let unique: std::collections::HashSet<(VarId, jir::AllocId)> =
+        observations.iter().copied().collect();
+    let mut pts_cache: HashMap<VarId, Vec<pta::ObjId>> = HashMap::new();
+    for (var, site) in unique {
+        let expected = repr(site);
+        let pts = pts_cache
+            .entry(var)
+            .or_insert_with(|| result.points_to_collapsed(var));
+        let covered = pts.iter().any(|&o| result.obj_alloc(o) == expected);
+        assert!(
+            covered,
+            "{label}: unsound — execution bound {} = object from {} \
+             but analysis reports {:?}",
+            program.var(var).name(),
+            program.alloc_label(site),
+            pts.iter().map(|&o| program.alloc_label(result.obj_alloc(o))).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn soundness_suite(program: &Program) {
+    let mut interp = Interp::default();
+    interp.run(program);
+    assert!(
+        !interp.observations.is_empty(),
+        "the program executes something"
+    );
+
+    // Allocation-site abstraction, several sensitivities.
+    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+        .run(program)
+        .unwrap();
+    assert_sound("ci", program, &r, &interp.observations, |a| a);
+    let r = Analysis::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+        .run(program)
+        .unwrap();
+    assert_sound("2cs", program, &r, &interp.observations, |a| a);
+    let r = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+        .run(program)
+        .unwrap();
+    assert_sound("2obj", program, &r, &interp.observations, |a| a);
+    let r = Analysis::new(TypeSensitive::new(2), AllocSiteAbstraction)
+        .run(program)
+        .unwrap();
+    assert_sound("2type", program, &r, &interp.observations, |a| a);
+
+    // Allocation-type abstraction.
+    let at = AllocTypeAbstraction::new(program);
+    let r = Analysis::new(ContextInsensitive, at.clone())
+        .run(program)
+        .unwrap();
+    assert_sound("T-ci", program, &r, &interp.observations, |a| at.repr(a));
+
+    // Mahjong.
+    let pre = pta::pre_analysis(program).unwrap();
+    let out = build_heap_abstraction(program, &pre, &MahjongConfig::default());
+    let mom = out.mom;
+    let r = Analysis::new(ObjectSensitive::new(2), mom.clone())
+        .run(program)
+        .unwrap();
+    assert_sound("M-2obj", program, &r, &interp.observations, |a| mom.repr(a));
+}
+
+#[test]
+fn figures_are_analyzed_soundly() {
+    for p in [
+        workloads::figures::figure1(),
+        workloads::figures::figure3(),
+        workloads::figures::figure6(),
+        workloads::figures::figure7(),
+    ] {
+        soundness_suite(&p);
+    }
+}
+
+#[test]
+fn workloads_are_analyzed_soundly() {
+    for name in ["luindex", "antlr", "checkstyle"] {
+        let w = workloads::dacapo::workload(name, 1);
+        soundness_suite(&w.program);
+    }
+}
+
+#[test]
+fn random_profiles_are_analyzed_soundly() {
+    for seed in 0..8u64 {
+        let profile = workloads::Profile::small(&format!("rand{seed}"), seed * 7 + 1);
+        let w = workloads::generate(&profile);
+        soundness_suite(&w.program);
+    }
+}
