@@ -105,6 +105,7 @@ impl Dfa {
     /// real output set. Runs in near-linear time
     /// `O(|Σ| · |Q1 ∪ Q2| · α)`.
     pub fn equivalent(&self, other: &Dfa) -> bool {
+        obs::counter("automata.hk_queries").inc();
         // State numbering: self-states, then other-states, then q_error.
         let n1 = self.state_count();
         let n2 = other.state_count();
@@ -156,13 +157,12 @@ impl Dfa {
                 Some(other.output_set(StateId((state - n1) as u32)))
             }
         };
-        for class in sets.classes() {
+        let homogeneous = sets.classes().iter().all(|class| {
             let first = output_of(class[0]);
-            if class.iter().any(|&s| output_of(s) != first) {
-                return false;
-            }
-        }
-        true
+            class.iter().all(|&s| output_of(s) == first)
+        });
+        obs::counter("automata.hk_unionfind_ops").add(sets.ops());
+        homogeneous
     }
 
     /// Returns the minimal DFA with the same behaviour (Moore partition

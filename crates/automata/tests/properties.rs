@@ -1,96 +1,107 @@
-//! Property-based tests for the automata substrate: subset construction
-//! preserves behaviour, equivalence is behavioural, and minimization is
-//! both behaviour-preserving and minimal.
+//! Randomized property tests for the automata substrate: subset
+//! construction preserves behaviour, equivalence is behavioural, and
+//! minimization is both behaviour-preserving and minimal. Driven by the
+//! in-tree deterministic PRNG (the build environment has no crates.io
+//! access, so no proptest).
 
 use automata::{Behavior, Dfa, Nfa, NfaBuilder, Output, Symbol};
-use proptest::prelude::*;
+use obs::rng::SplitMix64;
 
 /// A random NFA with `n` states, `t` outputs, `s` symbols, and up to
 /// `e` transitions.
-fn arb_nfa(n: usize, t: u32, s: u32, e: usize) -> impl Strategy<Value = Nfa> {
-    let outputs = prop::collection::vec(0..t, n);
-    let transitions = prop::collection::vec((0..n, 0..s, 0..n), 0..e);
-    (outputs, transitions).prop_map(|(outputs, transitions)| {
-        let mut b = NfaBuilder::new();
-        let states: Vec<_> = outputs.into_iter().map(|o| b.add_state(Output(o))).collect();
-        for (from, sym, to) in transitions {
-            b.add_transition(states[from], Symbol(sym), states[to]);
-        }
-        b.finish(states[0])
-    })
+fn random_nfa(rng: &mut SplitMix64, n: usize, t: u32, s: u32, e: usize) -> Nfa {
+    let mut b = NfaBuilder::new();
+    let states: Vec<_> = (0..n)
+        .map(|_| b.add_state(Output(rng.below(t as u64) as u32)))
+        .collect();
+    for _ in 0..rng.below_usize(e) {
+        let from = states[rng.below_usize(n)];
+        let sym = Symbol(rng.below(s as u64) as u32);
+        let to = states[rng.below_usize(n)];
+        b.add_transition(from, sym, to);
+    }
+    b.finish(states[0])
 }
 
-/// A random word over `s` symbols.
-fn arb_word(s: u32, max_len: usize) -> impl Strategy<Value = Vec<Symbol>> {
-    prop::collection::vec((0..s).prop_map(Symbol), 0..max_len)
+/// A random word over `s` symbols, of length below `max_len`.
+fn random_word(rng: &mut SplitMix64, s: u32, max_len: usize) -> Vec<Symbol> {
+    (0..rng.below_usize(max_len))
+        .map(|_| Symbol(rng.below(s as u64) as u32))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// β_NFA(w) = β_DFA(w) for every word (the correctness statement of
-    /// Algorithm 3's subset construction).
-    #[test]
-    fn subset_construction_preserves_behavior(
-        nfa in arb_nfa(6, 3, 3, 18),
-        words in prop::collection::vec(arb_word(3, 8), 1..16),
-    ) {
+/// β_NFA(w) = β_DFA(w) for every word (the correctness statement of
+/// Algorithm 3's subset construction).
+#[test]
+fn subset_construction_preserves_behavior() {
+    let mut rng = SplitMix64::new(0xa07a_0001);
+    for _ in 0..256 {
+        let nfa = random_nfa(&mut rng, 6, 3, 3, 18);
         let dfa = nfa.to_dfa();
-        for w in words {
-            prop_assert_eq!(nfa.behavior(&w), dfa.behavior(&w), "word {:?}", w);
+        for _ in 0..15 {
+            let w = random_word(&mut rng, 3, 8);
+            assert_eq!(nfa.behavior(&w), dfa.behavior(&w), "word {w:?}");
         }
     }
+}
 
-    /// If two DFAs are reported equivalent, no word distinguishes them;
-    /// if reported inequivalent, some short word must (bounded search —
-    /// on automata this small a distinguishing word of length ≤ |Q1|+|Q2|
-    /// exists by the Hopcroft–Karp invariant).
-    #[test]
-    fn equivalence_is_behavioral(
-        a in arb_nfa(5, 2, 2, 12),
-        b in arb_nfa(5, 2, 2, 12),
-    ) {
-        let da = a.to_dfa();
-        let db = b.to_dfa();
+/// If two DFAs are reported equivalent, no word distinguishes them; if
+/// reported inequivalent, some short word must (bounded search — on
+/// automata this small a distinguishing word of length ≤ |Q1|+|Q2|
+/// exists by the Hopcroft–Karp invariant).
+#[test]
+fn equivalence_is_behavioral() {
+    let mut rng = SplitMix64::new(0xa07a_0002);
+    for _ in 0..256 {
+        let da = random_nfa(&mut rng, 5, 2, 2, 12).to_dfa();
+        let db = random_nfa(&mut rng, 5, 2, 2, 12).to_dfa();
         let eq = da.equivalent(&db);
-        let found_diff = exhaustive_difference(&da, &db, da.state_count() + db.state_count() + 1);
-        prop_assert_eq!(eq, found_diff.is_none(),
-            "equivalent={} but distinguishing word = {:?}", eq, found_diff);
+        let found_diff =
+            exhaustive_difference(&da, &db, da.state_count() + db.state_count() + 1);
+        assert_eq!(
+            eq,
+            found_diff.is_none(),
+            "equivalent={eq} but distinguishing word = {found_diff:?}"
+        );
     }
+}
 
-    /// Minimization preserves behaviour and never grows the automaton.
-    #[test]
-    fn minimize_preserves_behavior_and_shrinks(
-        nfa in arb_nfa(6, 3, 2, 18),
-        words in prop::collection::vec(arb_word(2, 10), 1..16),
-    ) {
-        let dfa = nfa.to_dfa();
+/// Minimization preserves behaviour and never grows the automaton.
+#[test]
+fn minimize_preserves_behavior_and_shrinks() {
+    let mut rng = SplitMix64::new(0xa07a_0003);
+    for _ in 0..256 {
+        let dfa = random_nfa(&mut rng, 6, 3, 2, 18).to_dfa();
         let min = dfa.minimize();
-        prop_assert!(min.state_count() <= dfa.state_count());
-        for w in words {
-            prop_assert_eq!(dfa.behavior(&w), min.behavior(&w), "word {:?}", w);
+        assert!(min.state_count() <= dfa.state_count());
+        for _ in 0..15 {
+            let w = random_word(&mut rng, 2, 10);
+            assert_eq!(dfa.behavior(&w), min.behavior(&w), "word {w:?}");
         }
-        prop_assert!(dfa.equivalent(&min));
+        assert!(dfa.equivalent(&min));
     }
+}
 
-    /// Minimizing twice is a fixed point in size.
-    #[test]
-    fn minimize_is_idempotent_in_size(nfa in arb_nfa(6, 2, 2, 15)) {
-        let m1 = nfa.to_dfa().minimize();
+/// Minimizing twice is a fixed point in size.
+#[test]
+fn minimize_is_idempotent_in_size() {
+    let mut rng = SplitMix64::new(0xa07a_0004);
+    for _ in 0..256 {
+        let m1 = random_nfa(&mut rng, 6, 2, 2, 15).to_dfa().minimize();
         let m2 = m1.minimize();
-        prop_assert_eq!(m1.state_count(), m2.state_count());
+        assert_eq!(m1.state_count(), m2.state_count());
     }
+}
 
-    /// Equivalence is reflexive and symmetric on random automata.
-    #[test]
-    fn equivalence_is_reflexive_and_symmetric(
-        a in arb_nfa(5, 3, 2, 14),
-        b in arb_nfa(5, 3, 2, 14),
-    ) {
-        let da = a.to_dfa();
-        let db = b.to_dfa();
-        prop_assert!(da.equivalent(&da));
-        prop_assert_eq!(da.equivalent(&db), db.equivalent(&da));
+/// Equivalence is reflexive and symmetric on random automata.
+#[test]
+fn equivalence_is_reflexive_and_symmetric() {
+    let mut rng = SplitMix64::new(0xa07a_0005);
+    for _ in 0..256 {
+        let da = random_nfa(&mut rng, 5, 3, 2, 14).to_dfa();
+        let db = random_nfa(&mut rng, 5, 3, 2, 14).to_dfa();
+        assert!(da.equivalent(&da));
+        assert_eq!(da.equivalent(&db), db.equivalent(&da));
     }
 }
 

@@ -1,13 +1,11 @@
-//! Criterion bench for the design-choice ablations DESIGN.md calls
-//! out: Condition 2 on/off, null modeling on/off, sequential vs
-//! parallel type-consistency checking, representative choice.
+//! Bench for the design-choice ablations DESIGN.md calls out:
+//! Condition 2 on/off, null modeling on/off, sequential vs parallel
+//! type-consistency checking, representative choice.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing;
 use mahjong::{MahjongConfig, Representative};
 
-fn ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablations");
-    group.sample_size(10);
+fn main() {
     let w = workloads::dacapo::workload("pmd", 2);
     let pre = pta::pre_analysis(&w.program).expect("fits budget");
     let fpg = mahjong::FieldPointsToGraph::from_analysis(&w.program, &pre, true);
@@ -44,12 +42,8 @@ fn ablations(c: &mut Criterion) {
         ),
     ];
     for (label, config) in configs {
-        group.bench_with_input(BenchmarkId::new("merge", label), &config, |b, config| {
-            b.iter(|| mahjong::merge_equivalent_objects(&fpg, config))
+        timing::bench(&format!("ablations/merge/{label}"), || {
+            mahjong::merge_equivalent_objects(&fpg, &config)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, ablations);
-criterion_main!(benches);

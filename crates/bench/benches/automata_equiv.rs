@@ -1,10 +1,9 @@
-//! Criterion micro-bench for the automata substrate: NFA→DFA subset
-//! construction and Hopcroft–Karp equivalence (the "almost linear time"
-//! claim of paper Section 2.2.2), on chains, trees, and cyclic graphs
-//! of growing size.
+//! Micro-bench for the automata substrate: NFA→DFA subset construction
+//! and Hopcroft–Karp equivalence (the "almost linear time" claim of
+//! paper Section 2.2.2), on chains and layered graphs of growing size.
 
 use automata::{Dfa, NfaBuilder, Output, Symbol};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing;
 
 /// A chain automaton of `n` states over one symbol.
 fn chain(n: usize, out_offset: u32) -> Dfa {
@@ -42,26 +41,18 @@ fn layered_nfa(n: usize, syms: u32) -> automata::Nfa {
     b.finish(states[0])
 }
 
-fn equivalence(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hopcroft_karp");
+fn main() {
     for n in [64usize, 256, 1024, 4096] {
         let a = chain(n, 0);
         let b = chain(n, 0);
-        group.bench_with_input(BenchmarkId::new("equivalent_chains", n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| assert!(a.equivalent(b)))
+        timing::bench(&format!("hopcroft_karp/equivalent_chains/{n}"), || {
+            assert!(a.equivalent(&b))
         });
     }
-    group.finish();
-
-    let mut group = c.benchmark_group("subset_construction");
     for n in [64usize, 256, 1024] {
         let nfa = layered_nfa(n, 3);
-        group.bench_with_input(BenchmarkId::new("to_dfa", n), &nfa, |bench, nfa| {
-            bench.iter(|| nfa.to_dfa().state_count())
+        timing::bench(&format!("subset_construction/to_dfa/{n}"), || {
+            nfa.to_dfa().state_count()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, equivalence);
-criterion_main!(benches);

@@ -1,13 +1,11 @@
-//! Criterion bench for Figure 8's production step: building the heap
-//! abstraction (FPG + merge) per program, with the object counts
-//! reported as a side effect once per program.
+//! Bench for Figure 8's production step: building the heap abstraction
+//! (FPG + merge) per program, with the object counts reported as a
+//! side effect once per program.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing;
 use mahjong::MahjongConfig;
 
-fn fig8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_objects");
-    group.sample_size(10);
+fn main() {
     for name in workloads::dacapo::PROGRAMS {
         let w = workloads::dacapo::workload(name, 1);
         let pre = pta::pre_analysis(&w.program).expect("ci fits budget");
@@ -19,16 +17,8 @@ fn fig8(c: &mut Criterion) {
             out.stats.merged_objects,
             100.0 * (1.0 - out.stats.merged_objects as f64 / out.stats.objects as f64)
         );
-        group.bench_with_input(
-            BenchmarkId::new("merge", name),
-            &(&w.program, &pre),
-            |b, (program, pre)| {
-                b.iter(|| mahjong::build_heap_abstraction(program, pre, &MahjongConfig::default()))
-            },
-        );
+        timing::bench(&format!("fig8_objects/merge/{name}"), || {
+            mahjong::build_heap_abstraction(&w.program, &pre, &MahjongConfig::default())
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig8);
-criterion_main!(benches);

@@ -1,25 +1,17 @@
-//! Criterion bench for the Section 6.1.1 pre-analysis phase: the
+//! Bench for the Section 6.1.1 pre-analysis phase: the
 //! context-insensitive points-to analysis and FPG construction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing;
 
-fn pre_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pre_analysis");
-    group.sample_size(10);
+fn main() {
     for name in ["luindex", "pmd", "eclipse"] {
         let w = workloads::dacapo::workload(name, 1);
-        group.bench_with_input(BenchmarkId::new("ci", name), &w.program, |b, p| {
-            b.iter(|| pta::pre_analysis(p).expect("fits budget"))
+        timing::bench(&format!("pre_analysis/ci/{name}"), || {
+            pta::pre_analysis(&w.program).expect("fits budget")
         });
         let pre = pta::pre_analysis(&w.program).expect("fits budget");
-        group.bench_with_input(
-            BenchmarkId::new("fpg", name),
-            &(&w.program, &pre),
-            |b, (p, pre)| b.iter(|| mahjong::FieldPointsToGraph::from_analysis(p, pre, true)),
-        );
+        timing::bench(&format!("pre_analysis/fpg/{name}"), || {
+            mahjong::FieldPointsToGraph::from_analysis(&w.program, &pre, true)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, pre_analysis);
-criterion_main!(benches);

@@ -1,39 +1,28 @@
-//! Criterion bench for Table 2: each `(program, analysis, heap)` cell
-//! as a measurable benchmark. Uses small scales so the full matrix
-//! stays under Criterion's default time budget; the `repro` binary runs
-//! the paper-scale version.
+//! Bench for Table 2: each `(program, analysis, heap)` cell as a
+//! measurable benchmark. Uses small scales so the full matrix stays
+//! fast; the `repro` binary runs the paper-scale version.
 
+use bench::timing;
 use bench::{HeapKind, Sensitivity};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mahjong::MahjongConfig;
 use pta::Budget;
 
-fn table2_cells(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2");
-    group.sample_size(10);
+fn main() {
     let budget = Budget::seconds(120);
-
     for name in ["luindex", "pmd"] {
         let prepared = bench::prepare(name, 1, &MahjongConfig::default());
         for s in Sensitivity::TABLE2 {
             for (heap, label) in [(HeapKind::AllocSite, ""), (HeapKind::Mahjong, "M-")] {
-                let id = BenchmarkId::new(format!("{label}{}", s.name()), name);
-                group.bench_with_input(id, &prepared, |b, prepared| {
-                    b.iter(|| {
-                        bench::run_configuration(
-                            &prepared.program,
-                            s,
-                            heap,
-                            &prepared.mahjong.mom,
-                            budget,
-                        )
-                    })
+                timing::bench(&format!("table2/{label}{}/{name}", s.name()), || {
+                    bench::run_configuration(
+                        &prepared.program,
+                        s,
+                        heap,
+                        &prepared.mahjong.mom,
+                        budget,
+                    )
                 });
             }
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, table2_cells);
-criterion_main!(benches);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro --exp table2 [--scale N] [--budget SECS] [--programs a,b,c]
+//!       [--metrics-json PATH] [--trace PATH]
 //! repro --exp fig8
 //! repro --exp fig9
 //! repro --exp table1
@@ -11,6 +12,14 @@
 //! repro --exp alias
 //! repro --exp all
 //! ```
+//!
+//! `--metrics-json` dumps the telemetry registry as JSON-Lines and
+//! `--trace` writes a Chrome `trace_event` file (load it in
+//! `about:tracing` or Perfetto). `--exp all` additionally prints a
+//! per-experiment phase-time summary (pre-analysis vs. Mahjong vs. the
+//! main analysis). Set `OBS_DISABLE=1` to turn recording into no-ops.
+
+use std::time::Duration;
 
 use bench::{fmt_count, fmt_time};
 use mahjong::MahjongConfig;
@@ -22,12 +31,16 @@ struct Args {
     scale: usize,
     budget: u64,
     programs: Vec<String>,
+    metrics_json: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut exp = "all".to_owned();
     let mut scale = 4;
     let mut budget = 60;
+    let mut metrics_json = None;
+    let mut trace = None;
     let mut programs: Vec<String> = workloads::dacapo::PROGRAMS
         .iter()
         .map(|s| s.to_string())
@@ -61,6 +74,14 @@ fn parse_args() -> Args {
                     .unwrap_or(programs);
                 i += 2;
             }
+            "--metrics-json" => {
+                metrics_json = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--trace" => {
+                trace = argv.get(i + 1).cloned();
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -72,6 +93,8 @@ fn parse_args() -> Args {
         scale,
         budget,
         programs,
+        metrics_json,
+        trace,
     }
 }
 
@@ -87,21 +110,101 @@ fn main() {
         "pre_analysis" => pre_analysis(&args),
         "ablations" => ablations(&args, budget),
         "alias" => alias(&args, budget),
-        "all" => {
-            motivation(&args, budget);
-            fig8(&args);
-            fig9(&args);
-            table1(&args);
-            pre_analysis(&args);
-            table2(&args, budget);
-            ablations(&args, budget);
-            alias(&args, budget);
-        }
+        "all" => all(&args, budget),
         other => {
             eprintln!("unknown experiment `{other}`");
             std::process::exit(2);
         }
     }
+    if let Some(path) = &args.metrics_json {
+        write_or_die(path, &obs::export_jsonl());
+    }
+    if let Some(path) = &args.trace {
+        write_or_die(path, &obs::export_chrome_trace());
+    }
+}
+
+fn write_or_die(path: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("repro: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+// --- `--exp all` with the phase-time summary -----------------------------------
+
+/// Cumulative wall-clock in the three pipeline stages, read from the
+/// telemetry registry's span log.
+#[derive(Clone, Copy, Debug, Default)]
+struct PhaseClock {
+    pre_analysis: Duration,
+    mahjong: Duration,
+    main_analysis: Duration,
+}
+
+fn phase_clock() -> PhaseClock {
+    let r = obs::registry();
+    PhaseClock {
+        pre_analysis: r.phase_time("pre_analysis"),
+        mahjong: r.phase_time("mahjong.fpg_build")
+            + r.phase_time("mahjong.automata_build")
+            + r.phase_time("mahjong.equivalence_check"),
+        main_analysis: r.phase_time("main_analysis"),
+    }
+}
+
+impl PhaseClock {
+    fn since(self, earlier: PhaseClock) -> PhaseClock {
+        PhaseClock {
+            pre_analysis: self.pre_analysis - earlier.pre_analysis,
+            mahjong: self.mahjong - earlier.mahjong,
+            main_analysis: self.main_analysis - earlier.main_analysis,
+        }
+    }
+}
+
+fn all(args: &Args, budget: Budget) {
+    let experiments: Vec<(&str, Box<dyn Fn()>)> = vec![
+        ("motivation", Box::new(|| motivation(args, budget))),
+        ("fig8", Box::new(|| fig8(args))),
+        ("fig9", Box::new(|| fig9(args))),
+        ("table1", Box::new(|| table1(args))),
+        ("pre_analysis", Box::new(|| pre_analysis(args))),
+        ("table2", Box::new(|| table2(args, budget))),
+        ("ablations", Box::new(|| ablations(args, budget))),
+        ("alias", Box::new(|| alias(args, budget))),
+    ];
+    let mut summary: Vec<(&str, PhaseClock)> = Vec::new();
+    for (name, run) in experiments {
+        let before = phase_clock();
+        run();
+        summary.push((name, phase_clock().since(before)));
+    }
+
+    println!("## Phase-time summary — wall-clock per experiment");
+    println!();
+    println!("| experiment | pre-analysis | Mahjong | main analysis |");
+    println!("|---|---|---|---|");
+    let mut total = PhaseClock::default();
+    for (name, clock) in &summary {
+        println!(
+            "| {} | {} | {} | {} |",
+            name,
+            fmt_time(Some(clock.pre_analysis.as_secs_f64())),
+            fmt_time(Some(clock.mahjong.as_secs_f64())),
+            fmt_time(Some(clock.main_analysis.as_secs_f64())),
+        );
+        total.pre_analysis += clock.pre_analysis;
+        total.mahjong += clock.mahjong;
+        total.main_analysis += clock.main_analysis;
+    }
+    println!(
+        "| **total** | **{}** | **{}** | **{}** |",
+        fmt_time(Some(total.pre_analysis.as_secs_f64())),
+        fmt_time(Some(total.mahjong.as_secs_f64())),
+        fmt_time(Some(total.main_analysis.as_secs_f64())),
+    );
+    println!();
 }
 
 fn table2(args: &Args, budget: Budget) {

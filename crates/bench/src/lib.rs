@@ -144,6 +144,7 @@ fn run_with_heap<H: HeapAbstraction>(
     heap: H,
     budget: Budget,
 ) -> RunOutcome {
+    let _phase = obs::span("main_analysis");
     let start = Instant::now();
     let result = match sensitivity {
         Sensitivity::Ci => Analysis::new(ContextInsensitive, heap)
@@ -195,10 +196,13 @@ pub fn prepare(name: &str, scale: usize, config: &MahjongConfig) -> Prepared {
     let program = workload.program;
 
     let t = Instant::now();
-    let pre = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
-        .with_budget(Budget::seconds(600))
-        .run(&program)
-        .expect("pre-analysis fits its budget");
+    let pre = {
+        let _phase = obs::span("pre_analysis");
+        Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+            .with_budget(Budget::seconds(600))
+            .run(&program)
+            .expect("pre-analysis fits its budget")
+    };
     let ci_seconds = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
@@ -540,6 +544,65 @@ pub fn alias_tradeoff(name: &str, scale: usize, budget: Budget) -> AliasTradeoff
         mahjong_alias_pairs: clients::alias::program_alias_stats(p, &merged).aliased,
         may_fail_casts: mm.may_fail_casts,
         poly_call_sites: mm.poly_call_sites,
+    }
+}
+
+// --- Micro-bench harness ----------------------------------------------------------
+
+/// A dependency-free stand-in for a benchmark harness: warm-up, then
+/// repeated timed runs until a wall-clock target, reporting min/mean.
+///
+/// The `benches/` binaries (built with `harness = false`) use this via
+/// `cargo bench`; they ignore argv, so the `--bench` flag cargo passes
+/// is harmless.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// One benchmark's timing result.
+    #[derive(Clone, Debug)]
+    pub struct Measurement {
+        /// Benchmark label, e.g. `"table2/2obj/pmd"`.
+        pub label: String,
+        /// Timed iterations (after one warm-up).
+        pub iters: u32,
+        /// Fastest iteration.
+        pub min: Duration,
+        /// Mean over all timed iterations.
+        pub mean: Duration,
+    }
+
+    /// Times `f`: one warm-up call, then timed calls until 300 ms of
+    /// cumulative work or 25 iterations, whichever comes first.
+    pub fn measure<T>(label: &str, mut f: impl FnMut() -> T) -> Measurement {
+        std::hint::black_box(f());
+        let target = Duration::from_millis(300);
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u32;
+        while total < target && iters < 25 {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            let d = t.elapsed();
+            total += d;
+            min = min.min(d);
+            iters += 1;
+        }
+        Measurement {
+            label: label.to_owned(),
+            iters,
+            min,
+            mean: total / iters.max(1),
+        }
+    }
+
+    /// Times `f` and prints the result in one line.
+    pub fn bench<T>(label: &str, f: impl FnMut() -> T) -> Measurement {
+        let m = measure(label, f);
+        println!(
+            "{:<44} mean {:>12?}  min {:>12?}  ({} iters)",
+            m.label, m.mean, m.min, m.iters
+        );
+        m
     }
 }
 

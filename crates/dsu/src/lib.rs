@@ -35,6 +35,11 @@ pub struct DisjointSets {
     parent: Vec<Cell<u32>>,
     rank: Vec<u8>,
     set_count: usize,
+    /// Elementary operations performed: one per parent-pointer follow in
+    /// `find` plus one per link in `union`. The effectively-constant
+    /// amortized cost of these is the paper's Section 5 "Disjoint-Set
+    /// Forest" claim; callers export the count as telemetry.
+    ops: Cell<u64>,
 }
 
 impl DisjointSets {
@@ -49,7 +54,14 @@ impl DisjointSets {
             parent: (0..len as u32).map(Cell::new).collect(),
             rank: vec![0; len],
             set_count: len,
+            ops: Cell::new(0),
         }
+    }
+
+    /// Returns the number of elementary union-find operations performed
+    /// so far (parent-pointer follows in `find`, links in `union`).
+    pub fn ops(&self) -> u64 {
+        self.ops.get()
     }
 
     /// Returns the size of the universe.
@@ -85,9 +97,12 @@ impl DisjointSets {
     /// Panics if `x` is out of bounds.
     pub fn find(&self, x: usize) -> usize {
         let mut root = x as u32;
+        let mut follows = 1u64;
         while self.parent[root as usize].get() != root {
             root = self.parent[root as usize].get();
+            follows += 1;
         }
+        self.ops.set(self.ops.get() + follows);
         // Path compression: point every node on the path at the root.
         let mut cur = x as u32;
         while cur != root {
@@ -120,6 +135,7 @@ impl DisjointSets {
             self.rank[hi] += 1;
         }
         self.set_count -= 1;
+        self.ops.set(self.ops.get() + 1);
         true
     }
 
@@ -199,6 +215,19 @@ mod tests {
         ds.union(0, 3);
         let classes = ds.classes();
         assert_eq!(classes, vec![vec![0, 3], vec![1], vec![2, 4]]);
+    }
+
+    #[test]
+    fn ops_counter_tracks_work() {
+        let mut ds = DisjointSets::new(4);
+        assert_eq!(ds.ops(), 0);
+        ds.find(0); // one self-parent check
+        assert_eq!(ds.ops(), 1);
+        ds.union(0, 1); // two finds + one link
+        assert_eq!(ds.ops(), 4);
+        let before = ds.ops();
+        ds.same_set(0, 1);
+        assert!(ds.ops() > before);
     }
 
     #[test]

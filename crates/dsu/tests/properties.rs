@@ -1,8 +1,10 @@
-//! Property-based tests for the disjoint-set forest: union-find must
-//! realize exactly the equivalence closure of the union operations.
+//! Randomized property tests for the disjoint-set forest: union-find
+//! must realize exactly the equivalence closure of the union
+//! operations. Driven by the in-tree deterministic PRNG (the build
+//! environment has no crates.io access, so no proptest).
 
 use dsu::DisjointSets;
-use proptest::prelude::*;
+use obs::rng::SplitMix64;
 
 /// A reference implementation: equivalence closure by transitive
 /// saturation over an adjacency list.
@@ -35,67 +37,100 @@ fn reference_classes(n: usize, unions: &[(usize, usize)]) -> Vec<Vec<usize>> {
     by_label.into_values().collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+/// One random scenario: a universe size in `[1, max_n)` and a batch of
+/// random union pairs.
+fn random_case(rng: &mut SplitMix64, max_n: usize, max_unions: usize) -> (usize, Vec<(usize, usize)>) {
+    let n = 1 + rng.below_usize(max_n - 1);
+    let k = rng.below_usize(max_unions);
+    let unions = (0..k)
+        .map(|_| (rng.below_usize(n), rng.below_usize(n)))
+        .collect();
+    (n, unions)
+}
 
-    /// The forest's classes equal the reference closure's classes.
-    #[test]
-    fn classes_match_reference(
-        n in 1usize..24,
-        unions in prop::collection::vec((0usize..24, 0usize..24), 0..48),
-    ) {
-        let unions: Vec<(usize, usize)> =
-            unions.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+/// The forest's classes equal the reference closure's classes.
+#[test]
+fn classes_match_reference() {
+    let mut rng = SplitMix64::new(0x5eed_0001);
+    for _ in 0..256 {
+        let (n, unions) = random_case(&mut rng, 24, 48);
         let mut ds = DisjointSets::new(n);
         for &(a, b) in &unions {
             ds.union(a, b);
         }
-        prop_assert_eq!(ds.classes(), reference_classes(n, &unions));
+        assert_eq!(
+            ds.classes(),
+            reference_classes(n, &unions),
+            "n={n} unions={unions:?}"
+        );
     }
+}
 
-    /// `same_set` agrees with class membership, and `set_count` with the
-    /// number of classes.
-    #[test]
-    fn queries_are_consistent(
-        n in 1usize..16,
-        unions in prop::collection::vec((0usize..16, 0usize..16), 0..32),
-    ) {
+/// `same_set` agrees with class membership, and `set_count` with the
+/// number of classes.
+#[test]
+fn queries_are_consistent() {
+    let mut rng = SplitMix64::new(0x5eed_0002);
+    for _ in 0..256 {
+        let (n, unions) = random_case(&mut rng, 16, 32);
         let mut ds = DisjointSets::new(n);
-        for (a, b) in unions {
-            ds.union(a % n, b % n);
+        for &(a, b) in &unions {
+            ds.union(a, b);
         }
         let classes = ds.classes();
-        prop_assert_eq!(classes.len(), ds.set_count());
+        assert_eq!(classes.len(), ds.set_count());
         for class in &classes {
             for &x in class {
                 for &y in class {
-                    prop_assert!(ds.same_set(x, y));
+                    assert!(ds.same_set(x, y));
                 }
-                prop_assert_eq!(ds.find(x), ds.find(class[0]));
+                assert_eq!(ds.find(x), ds.find(class[0]));
             }
         }
         // Elements of different classes are never same_set.
         for i in 0..classes.len() {
             for j in (i + 1)..classes.len() {
-                prop_assert!(!ds.same_set(classes[i][0], classes[j][0]));
+                assert!(!ds.same_set(classes[i][0], classes[j][0]));
             }
         }
     }
+}
 
-    /// Union returns true exactly when it joins two distinct sets, and
-    /// the set count decreases by exactly the number of true unions.
-    #[test]
-    fn union_return_value_tracks_count(
-        n in 1usize..16,
-        unions in prop::collection::vec((0usize..16, 0usize..16), 0..32),
-    ) {
+/// Union returns true exactly when it joins two distinct sets, and the
+/// set count decreases by exactly the number of true unions.
+#[test]
+fn union_return_value_tracks_count() {
+    let mut rng = SplitMix64::new(0x5eed_0003);
+    for _ in 0..256 {
+        let (n, unions) = random_case(&mut rng, 16, 32);
         let mut ds = DisjointSets::new(n);
         let mut effective = 0usize;
-        for (a, b) in unions {
-            if ds.union(a % n, b % n) {
+        for &(a, b) in &unions {
+            if ds.union(a, b) {
                 effective += 1;
             }
         }
-        prop_assert_eq!(ds.set_count(), n - effective);
+        assert_eq!(ds.set_count(), n - effective);
+    }
+}
+
+/// The ops counter is monotone in the workload and stays within the
+/// near-linear bound the rank + path-compression heuristics guarantee.
+#[test]
+fn ops_counter_is_monotone_and_bounded() {
+    let mut rng = SplitMix64::new(0x5eed_0004);
+    for _ in 0..64 {
+        let (n, unions) = random_case(&mut rng, 64, 128);
+        let mut ds = DisjointSets::new(n);
+        let mut last = ds.ops();
+        for &(a, b) in &unions {
+            ds.union(a, b);
+            assert!(ds.ops() >= last);
+            last = ds.ops();
+        }
+        // Each union does two finds (≤ ~log n follows amortized, bounded
+        // by n here) plus at most one link.
+        let bound = (unions.len() as u64 + 1) * (2 * n as u64 + 1);
+        assert!(ds.ops() <= bound, "ops={} bound={bound}", ds.ops());
     }
 }

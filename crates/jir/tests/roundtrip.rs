@@ -1,15 +1,21 @@
 //! Parser/printer roundtrip and hierarchy-query tests for JIR.
+//! Randomized cases are driven by the in-tree deterministic PRNG (the
+//! build environment has no crates.io access, so no proptest).
 
 use jir::{JirError, ProgramBuilder};
-use proptest::prelude::*;
+use obs::rng::SplitMix64;
 
 /// Builds a random (but always valid) program through the builder API:
 /// a hierarchy of classes, fields, and straight-line method bodies.
-fn arb_program() -> impl Strategy<Value = jir::Program> {
+fn random_program(rng: &mut SplitMix64) -> jir::Program {
     // (class shape choices, per-method statement choices)
-    let classes = prop::collection::vec((0usize..3, any::<bool>()), 1..6);
-    let stmts = prop::collection::vec((0u8..6, 0usize..8, 0usize..8), 0..20);
-    (classes, stmts).prop_map(|(class_specs, stmt_specs)| {
+    let class_specs: Vec<(usize, bool)> = (0..1 + rng.below_usize(5))
+        .map(|_| (rng.below_usize(3), rng.chance(0.5)))
+        .collect();
+    let stmt_specs: Vec<(u8, usize, usize)> = (0..rng.below_usize(20))
+        .map(|_| (rng.below(6) as u8, rng.below_usize(8), rng.below_usize(8)))
+        .collect();
+    {
         let mut b = ProgramBuilder::new();
         let object = b.object_class();
         let mut classes = vec![object];
@@ -73,42 +79,49 @@ fn arb_program() -> impl Strategy<Value = jir::Program> {
             body.ret(None);
         }
         b.finish().expect("generated program is valid")
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Print → parse preserves all entity counts and the analysis-visible
-    /// structure.
-    #[test]
-    fn printed_program_reparses(p in arb_program()) {
+/// Print → parse preserves all entity counts and the analysis-visible
+/// structure.
+#[test]
+fn printed_program_reparses() {
+    let mut rng = SplitMix64::new(0x71c_0001);
+    for _ in 0..128 {
+        let p = random_program(&mut rng);
         let text = p.to_string();
         let q = jir::parse(&text)
             .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
-        prop_assert_eq!(p.class_count(), q.class_count());
-        prop_assert_eq!(p.alloc_count(), q.alloc_count());
-        prop_assert_eq!(p.call_site_count(), q.call_site_count());
-        prop_assert_eq!(p.cast_count(), q.cast_count());
-        prop_assert_eq!(p.field_count(), q.field_count());
-        prop_assert_eq!(p.method_count(), q.method_count());
+        assert_eq!(p.class_count(), q.class_count());
+        assert_eq!(p.alloc_count(), q.alloc_count());
+        assert_eq!(p.call_site_count(), q.call_site_count());
+        assert_eq!(p.cast_count(), q.cast_count());
+        assert_eq!(p.field_count(), q.field_count());
+        assert_eq!(p.method_count(), q.method_count());
         // Printing is idempotent modulo the first roundtrip.
-        prop_assert_eq!(q.to_string(), jir::parse(&q.to_string()).unwrap().to_string());
+        assert_eq!(
+            q.to_string(),
+            jir::parse(&q.to_string()).unwrap().to_string()
+        );
     }
+}
 
-    /// Subtyping is reflexive and transitive, and dispatch respects it:
-    /// the dispatched method is declared by an ancestor.
-    #[test]
-    fn hierarchy_queries_are_consistent(p in arb_program()) {
+/// Subtyping is reflexive and transitive, and dispatch respects it:
+/// the dispatched method is declared by an ancestor.
+#[test]
+fn hierarchy_queries_are_consistent() {
+    let mut rng = SplitMix64::new(0x71c_0002);
+    for _ in 0..128 {
+        let p = random_program(&mut rng);
         for c in p.class_ids() {
-            prop_assert!(p.is_subclass(c, c));
-            prop_assert!(p.is_subclass(c, p.object_class()));
+            assert!(p.is_subclass(c, c));
+            assert!(p.is_subclass(c, p.object_class()));
             let ty = p.class(c).ty();
-            prop_assert!(p.is_subtype(ty, ty));
+            assert!(p.is_subtype(ty, ty));
             if !p.class(c).is_abstract() {
                 if let Some(target) = p.dispatch(ty, "m", 0) {
                     let decl = p.method(target).class();
-                    prop_assert!(p.is_subclass(c, decl), "dispatch target is an ancestor");
+                    assert!(p.is_subclass(c, decl), "dispatch target is an ancestor");
                 }
             }
         }
@@ -123,7 +136,7 @@ proptest! {
                         jir::ClassId::from_usize(k),
                     );
                     if p.is_subclass(a, b) && p.is_subclass(b, c) {
-                        prop_assert!(p.is_subclass(a, c));
+                        assert!(p.is_subclass(a, c));
                     }
                 }
             }

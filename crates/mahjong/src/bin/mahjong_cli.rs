@@ -3,7 +3,13 @@
 //!
 //! ```text
 //! mahjong-cli program.jir [--no-condition2] [--no-null] [--threads N] [--largest-repr]
+//!             [--metrics-json PATH] [--trace PATH]
 //! ```
+//!
+//! `--metrics-json` writes the telemetry registry as JSON-Lines and
+//! `--trace` writes a Chrome `trace_event` file (open in
+//! `about:tracing` / Perfetto). Set `OBS_DISABLE=1` to turn all
+//! recording into no-ops.
 //!
 //! The paper ships Mahjong as a standalone tool that any
 //! allocation-site-based points-to framework can call; this binary is
@@ -14,6 +20,8 @@ use mahjong::{build_with_fpg, MahjongConfig, Representative};
 fn main() {
     let mut path: Option<String> = None;
     let mut config = MahjongConfig::default();
+    let mut metrics_json: Option<String> = None;
+    let mut trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -26,10 +34,17 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--threads needs a number"));
             }
+            "--metrics-json" => {
+                metrics_json =
+                    Some(args.next().unwrap_or_else(|| die("--metrics-json needs a path")));
+            }
+            "--trace" => {
+                trace = Some(args.next().unwrap_or_else(|| die("--trace needs a path")));
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mahjong-cli <program.jir> [--no-condition2] [--no-null] \
-                     [--threads N] [--largest-repr]"
+                     [--threads N] [--largest-repr] [--metrics-json PATH] [--trace PATH]"
                 );
                 return;
             }
@@ -66,6 +81,15 @@ fn main() {
         }
         let labels: Vec<String> = class.iter().map(|&a| program.alloc_label(a)).collect();
         println!("{}", labels.join(" ≡ "));
+    }
+
+    if let Some(p) = metrics_json {
+        std::fs::write(&p, obs::export_jsonl())
+            .unwrap_or_else(|e| die(&format!("cannot write {p}: {e}")));
+    }
+    if let Some(p) = trace {
+        std::fs::write(&p, obs::export_chrome_trace())
+            .unwrap_or_else(|e| die(&format!("cannot write {p}: {e}")));
     }
 }
 

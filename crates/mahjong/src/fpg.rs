@@ -65,6 +65,7 @@ impl FieldPointsToGraph {
     /// the null node (the paper's null-field convention, which lets
     /// Mahjong distinguish never-initialized objects — Table 1, row 6).
     pub fn from_analysis(program: &Program, result: &AnalysisResult, model_null: bool) -> Self {
+        let _phase = obs::span("mahjong.fpg_build");
         let n = program.alloc_count();
         let mut g = FieldPointsToGraph {
             alloc_count: n,
@@ -102,6 +103,10 @@ impl FieldPointsToGraph {
         for row in &mut g.edges {
             row.sort_unstable();
             row.dedup();
+        }
+        if obs::enabled() {
+            obs::gauge("mahjong.fpg_nodes").set(g.present.iter().filter(|&&p| p).count() as i64);
+            obs::gauge("mahjong.fpg_edges").set(g.edge_count() as i64);
         }
         g
     }

@@ -56,6 +56,10 @@ impl Default for MahjongConfig {
 
 /// Statistics of one Mahjong run (the paper reports these in
 /// Section 6.1).
+///
+/// This per-run view is the stable public API; at the end of every run
+/// the same numbers are published into the process-global [`obs`]
+/// registry under `mahjong.*` names (see [`MahjongStats::publish`]).
 #[derive(Clone, Debug, Default)]
 pub struct MahjongStats {
     /// Time spent building per-object DFAs.
@@ -75,6 +79,22 @@ pub struct MahjongStats {
     pub avg_nfa_states: f64,
     /// Largest NFA (reachable FPG nodes).
     pub max_nfa_states: usize,
+}
+
+impl MahjongStats {
+    /// Publishes the run's counters into the global [`obs`] registry
+    /// (no-op while recording is disabled). Counters are monotonic, so
+    /// repeated runs aggregate.
+    pub fn publish(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter("mahjong.objects").add(self.objects as u64);
+        obs::counter("mahjong.merged_objects").add(self.merged_objects as u64);
+        obs::counter("mahjong.not_single_type").add(self.not_single_type as u64);
+        obs::counter("mahjong.equivalence_checks").add(self.equivalence_checks);
+        obs::gauge("mahjong.max_nfa_states").set(self.max_nfa_states as i64);
+    }
 }
 
 /// The output of the Mahjong pipeline: the merged object map plus run
@@ -111,13 +131,25 @@ pub fn merge_equivalent_objects(fpg: &FieldPointsToGraph, config: &MahjongConfig
     // Phase 1: build all shared automata beforehand (Section 5), in
     // parallel when configured.
     let dfa_start = Instant::now();
-    let candidates: Vec<AllocId> = groups.iter().flatten().copied().collect();
-    let automata = build_automata(fpg, &candidates, config);
+    let automata = {
+        let _phase = obs::span("mahjong.automata_build");
+        let candidates: Vec<AllocId> = groups.iter().flatten().copied().collect();
+        build_automata(fpg, &candidates, config)
+    };
     stats.dfa_time = dfa_start.elapsed();
     let mut nfa_total = 0usize;
+    let record_sizes = obs::enabled();
+    let (nfa_hist, dfa_hist) = (
+        obs::histogram("mahjong.nfa_states"),
+        obs::histogram("mahjong.dfa_states"),
+    );
     for info in automata.values() {
         nfa_total += info.nfa_states;
         stats.max_nfa_states = stats.max_nfa_states.max(info.nfa_states);
+        if record_sizes {
+            nfa_hist.record(info.nfa_states as u64);
+            dfa_hist.record(info.dfa_states as u64);
+        }
         if matches!(info.automaton, RootAutomaton::NotSingleType) {
             stats.not_single_type += 1;
         }
@@ -129,10 +161,13 @@ pub fn merge_equivalent_objects(fpg: &FieldPointsToGraph, config: &MahjongConfig
     // Phase 2: per-type merging. Threads own disjoint type groups, so no
     // synchronization is needed; each emits union pairs applied below.
     let merge_start = Instant::now();
-    let (pairs, checks) = if config.threads > 1 {
-        merge_parallel(&groups, &automata, config.threads)
-    } else {
-        merge_groups(&groups, &automata)
+    let (pairs, checks) = {
+        let _phase = obs::span("mahjong.equivalence_check");
+        if config.threads > 1 {
+            merge_parallel(&groups, &automata, config.threads)
+        } else {
+            merge_groups(&groups, &automata)
+        }
     };
     stats.equivalence_checks = checks;
 
@@ -163,6 +198,7 @@ pub fn merge_equivalent_objects(fpg: &FieldPointsToGraph, config: &MahjongConfig
         reprs.dedup();
         reprs.len()
     };
+    stats.publish();
     MahjongOutput { mom, stats }
 }
 
@@ -170,6 +206,7 @@ pub fn merge_equivalent_objects(fpg: &FieldPointsToGraph, config: &MahjongConfig
 struct RootInfo {
     automaton: RootAutomaton,
     nfa_states: usize,
+    dfa_states: usize,
 }
 
 fn build_automata(
@@ -184,6 +221,7 @@ fn build_automata(
             RootInfo {
                 automaton,
                 nfa_states: bstats.nfa_states,
+                dfa_states: bstats.dfa_states,
             },
         )
     };
@@ -192,16 +230,15 @@ fn build_automata(
     }
     let chunk = candidates.len().div_ceil(config.threads);
     let mut out = HashMap::with_capacity(candidates.len());
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = candidates
             .chunks(chunk)
-            .map(|part| scope.spawn(move |_| part.iter().map(build_one).collect::<Vec<_>>()))
+            .map(|part| scope.spawn(move || part.iter().map(build_one).collect::<Vec<_>>()))
             .collect();
         for h in handles {
             out.extend(h.join().expect("automata worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     out
 }
 
@@ -255,11 +292,11 @@ fn merge_parallel(
 
     let mut pairs = Vec::new();
     let mut checks = 0u64;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = assignment
             .into_iter()
             .map(|my_groups| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let owned: Vec<Vec<AllocId>> =
                         my_groups.into_iter().cloned().collect();
                     merge_groups(&owned, automata)
@@ -271,8 +308,7 @@ fn merge_parallel(
             pairs.extend(p);
             checks += c;
         }
-    })
-    .expect("crossbeam scope");
+    });
     (pairs, checks)
 }
 

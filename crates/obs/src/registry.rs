@@ -1,0 +1,203 @@
+//! Instrument storage: named counters, gauges, histograms, and the
+//! span log, behind one [`Registry`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::histogram::Histogram;
+use crate::span::SpanEvent;
+
+/// A named monotonic counter. Cheap to clone; all clones share the
+/// same cell. Recording respects the global enable flag.
+#[derive(Clone, Debug)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds `n` to the counter (no-op while recording is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to the counter.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-write-wins gauge. Cheap to clone; all clones share the
+/// same cell.
+#[derive(Clone, Debug)]
+pub struct Gauge {
+    cell: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the gauge (no-op while recording is disabled).
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregated wall-clock for one span name: how many times the phase
+/// ran and the total time spent inside it (self-inclusive).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Span name as passed to [`crate::span`].
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Sum of the spans' wall-clock durations.
+    pub total: Duration,
+}
+
+/// Holder of every instrument. One process-global instance lives
+/// behind [`crate::registry`]; tests may create private instances.
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<Vec<SpanEvent>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Returns the named counter, creating it on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().unwrap();
+        map.entry(name.to_owned())
+            .or_insert_with(|| Counter { cell: Arc::new(AtomicU64::new(0)) })
+            .clone()
+    }
+
+    /// Returns the named gauge, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_owned())
+            .or_insert_with(|| Gauge { cell: Arc::new(AtomicI64::new(0)) })
+            .clone()
+    }
+
+    /// Returns the named histogram, creating it on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Appends a completed span to the log. Called from `Span::drop`.
+    pub(crate) fn record_span(&self, event: SpanEvent) {
+        self.spans.lock().unwrap().push(event);
+    }
+
+    /// Snapshot of all counters as `(name, value)` pairs, name-sorted.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all gauges as `(name, value)` pairs, name-sorted.
+    pub fn gauges(&self) -> Vec<(String, i64)> {
+        self.gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of all histograms, name-sorted.
+    pub fn histograms(&self) -> Vec<(String, crate::HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Snapshot of the span log in completion order.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.spans.lock().unwrap().clone()
+    }
+
+    /// Aggregates the span log into per-name totals, name-sorted.
+    pub fn phase_totals(&self) -> Vec<PhaseTotal> {
+        let mut totals: BTreeMap<String, (u64, Duration)> = BTreeMap::new();
+        for ev in self.spans.lock().unwrap().iter() {
+            let slot = totals.entry(ev.name.clone()).or_insert((0, Duration::ZERO));
+            slot.0 += 1;
+            slot.1 += Duration::from_micros(ev.dur_us);
+        }
+        totals
+            .into_iter()
+            .map(|(name, (count, total))| PhaseTotal { name, count, total })
+            .collect()
+    }
+
+    /// Total recorded wall-clock for one span name ([`Duration::ZERO`]
+    /// if the phase never ran).
+    pub fn phase_time(&self, name: &str) -> Duration {
+        self.spans
+            .lock()
+            .unwrap()
+            .iter()
+            .filter(|ev| ev.name == name)
+            .map(|ev| Duration::from_micros(ev.dur_us))
+            .sum()
+    }
+
+    /// Zeroes every instrument in place and clears the span log.
+    /// Handles returned earlier stay connected to their cells.
+    pub fn reset(&self) {
+        for c in self.counters.lock().unwrap().values() {
+            c.cell.store(0, Ordering::Relaxed);
+        }
+        for g in self.gauges.lock().unwrap().values() {
+            g.cell.store(0, Ordering::Relaxed);
+        }
+        for h in self.histograms.lock().unwrap().values() {
+            h.reset();
+        }
+        self.spans.lock().unwrap().clear();
+    }
+}

@@ -11,20 +11,51 @@ use crate::solver::{PtrId, PtrKey};
 use crate::util::{FastMap, FastSet};
 
 /// Counters describing one solver run.
+///
+/// This per-run view is the stable public API; at the end of every run
+/// (including budget-overrun exits) the same numbers are published into
+/// the process-global [`obs`] registry under `pta.*` names, where they
+/// aggregate across runs and travel with the JSON-Lines/Chrome-trace
+/// exports.
 #[derive(Clone, Debug, Default)]
 pub struct AnalysisStats {
-    /// Wall-clock time of the fixpoint.
+    /// Wall-clock time of the whole run.
     pub elapsed: Duration,
+    /// Wall-clock spent seeding the entry point (`solver.init`).
+    pub init_time: Duration,
+    /// Wall-clock spent in the worklist loop (`solver.fixpoint`).
+    pub fixpoint_time: Duration,
+    /// Wall-clock spent assembling the result (`solver.finalize`).
+    pub finalize_time: Duration,
     /// Worklist entries processed.
     pub worklist_pops: u64,
     /// Objects pushed through the graph (sum of delta sizes).
     pub propagated_objects: u64,
     /// Copy edges in the final constraint graph.
     pub copy_edges: u64,
+    /// Context-insensitive call-graph edges discovered.
+    pub call_graph_edges: u64,
     /// Reachable `(context, method)` pairs.
     pub reachable_method_contexts: u64,
     /// Distinct calling contexts created.
     pub context_count: usize,
+}
+
+impl AnalysisStats {
+    /// Publishes the run's counters into the global [`obs`] registry
+    /// (no-op while recording is disabled). Counters are monotonic, so
+    /// repeated runs aggregate.
+    pub fn publish(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::counter("pta.worklist_pops").add(self.worklist_pops);
+        obs::counter("pta.propagated_objects").add(self.propagated_objects);
+        obs::counter("pta.copy_edges").add(self.copy_edges);
+        obs::counter("pta.call_graph_edges").add(self.call_graph_edges);
+        obs::counter("pta.reachable_method_contexts").add(self.reachable_method_contexts);
+        obs::counter("pta.contexts_created").add(self.context_count as u64);
+    }
 }
 
 /// The immutable result of a points-to analysis run.
@@ -84,6 +115,13 @@ impl AnalysisResult {
             method_ctxs,
             var_ptrs,
         }
+    }
+
+    /// Replaces the stats block (the solver finishes timing the
+    /// finalize phase only after the result is assembled).
+    pub(crate) fn with_stats(mut self, stats: AnalysisStats) -> Self {
+        self.stats = stats;
+        self
     }
 
     // --- Object queries -----------------------------------------------------

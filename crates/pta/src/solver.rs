@@ -82,6 +82,10 @@ pub struct Unscalable {
     pub elapsed: Duration,
     /// Reachable `(context, method)` pairs processed before giving up.
     pub methods_processed: usize,
+    /// Phase timings and counters accumulated up to the overrun, so an
+    /// aborted run still reports where the time went (the paper's
+    /// "unscalable within 5h" rows carry partial data too).
+    pub stats: AnalysisStats,
 }
 
 impl std::fmt::Display for Unscalable {
@@ -237,18 +241,32 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
     }
 
     fn solve(mut self) -> Result<AnalysisResult, Unscalable> {
-        let empty = self.arena.empty();
-        self.mark_reachable(empty, self.program.entry());
+        {
+            let _init = obs::span("solver.init");
+            let empty = self.arena.empty();
+            self.mark_reachable(empty, self.program.entry());
+            self.stats.init_time = self.start.elapsed();
+        }
 
+        let fixpoint_start = Instant::now();
+        let fixpoint_span = obs::span("solver.fixpoint");
+        let delta_hist = obs::histogram("pta.worklist_delta_size");
         let mut since_check = 0usize;
         loop {
             since_check += 1;
             if since_check >= 4096 {
                 since_check = 0;
                 if self.start.elapsed() > self.budget.time_limit {
+                    drop(fixpoint_span);
+                    self.stats.fixpoint_time = fixpoint_start.elapsed();
+                    self.stats.elapsed = self.start.elapsed();
+                    self.stats.context_count = self.arena.len();
+                    self.stats.call_graph_edges = self.cg_edges.len() as u64;
+                    self.stats.publish();
                     return Err(Unscalable {
                         elapsed: self.start.elapsed(),
                         methods_processed: self.reachable.len(),
+                        stats: self.stats.clone(),
                     });
                 }
             }
@@ -256,15 +274,27 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 self.process_method(ctx, method);
             } else if let Some((ptr, delta)) = self.worklist.pop_front() {
                 self.stats.worklist_pops += 1;
+                delta_hist.record(delta.len() as u64);
                 self.process(ptr, &delta);
             } else {
                 break;
             }
         }
+        drop(fixpoint_span);
+        self.stats.fixpoint_time = fixpoint_start.elapsed();
 
-        self.stats.elapsed = self.start.elapsed();
+        let finalize_start = Instant::now();
+        let finalize_span = obs::span("solver.finalize");
         self.stats.context_count = self.arena.len();
-        Ok(AnalysisResult::from_parts(
+        self.stats.call_graph_edges = self.cg_edges.len() as u64;
+        if obs::enabled() {
+            let pts_hist = obs::histogram("pta.points_to_set_size");
+            for set in &self.pts {
+                pts_hist.record(set.len() as u64);
+            }
+            obs::gauge("pta.pointer_nodes").set(self.pts.len() as i64);
+        }
+        let result = AnalysisResult::from_parts(
             self.arena,
             self.objs,
             self.ptr_keys,
@@ -274,8 +304,13 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             self.reachable_methods,
             self.cg_edges,
             self.cs_cg_edges.len(),
-            self.stats,
-        ))
+            AnalysisStats::default(), // placeholder, replaced below
+        );
+        drop(finalize_span);
+        self.stats.finalize_time = finalize_start.elapsed();
+        self.stats.elapsed = self.start.elapsed();
+        self.stats.publish();
+        Ok(result.with_stats(self.stats))
     }
 
     // --- Pointer graph primitives ----------------------------------------
@@ -575,6 +610,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
 /// Returns [`Unscalable`] if the budget is exhausted (the pre-analysis is
 /// given the same default budget as any other run).
 pub fn pre_analysis(program: &Program) -> Result<AnalysisResult, Unscalable> {
+    let _phase = obs::span("pre_analysis");
     Analysis::new(
         crate::context::ContextInsensitive,
         crate::heap::AllocSiteAbstraction,

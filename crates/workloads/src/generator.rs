@@ -20,11 +20,10 @@
 //!   every wrapper (their only field holds wrappers) and collapses the
 //!   whole subtree to a handful of contexts.
 //!
-//! Generation is deterministic per profile (seeded `SmallRng`).
+//! Generation is deterministic per profile (seeded [`SplitMix64`]).
 
 use jir::{ClassId, JirError, MethodId, Program, ProgramBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use obs::rng::SplitMix64;
 
 use crate::stdlib::{emit, Std};
 
@@ -109,7 +108,7 @@ struct Hierarchy {
 
 struct Generator<'p> {
     profile: &'p Profile,
-    rng: SmallRng,
+    rng: SplitMix64,
     b: ProgramBuilder,
     std: Std,
     hierarchies: Vec<Hierarchy>,
@@ -127,7 +126,7 @@ impl<'p> Generator<'p> {
         let std = emit(&mut b).expect("fresh builder accepts the stdlib");
         Generator {
             profile,
-            rng: SmallRng::seed_from_u64(profile.seed),
+            rng: SplitMix64::new(profile.seed),
             b,
             std,
             hierarchies: Vec::new(),
@@ -319,7 +318,7 @@ impl<'p> Generator<'p> {
 
     fn emit_worker_body(&mut self, w: MethodId, module_index: usize) -> Result<(), JirError> {
         for block in 0..self.profile.blocks_per_method {
-            match self.rng.gen_range(0..7u32) {
+            match self.rng.below(7) {
                 0 => self.emit_string_block(w, block)?,
                 1 => self.emit_map_block(w, block)?,
                 2 => self.emit_local_array_block(w, block)?,
@@ -361,8 +360,8 @@ impl<'p> Generator<'p> {
         let hmap = self.std.hash_map;
         let map_init = self.std.map_init;
         let string = self.std.string;
-        let h = self.rng.gen_range(0..self.hierarchies.len());
-        let s = self.rng.gen_range(0..self.hierarchies[h].subs.len());
+        let h = self.rng.below_usize(self.hierarchies.len());
+        let s = self.rng.below_usize(self.hierarchies[h].subs.len());
         let val_cls = self.hierarchies[h].subs[s];
         let val_ty = self.b.class_type(val_cls);
 
@@ -390,10 +389,10 @@ impl<'p> Generator<'p> {
         let object_ty = self.std.object_ty;
         let (node_cls, node_item, node_next) =
             (self.std.node, self.std.node_item, self.std.node_next);
-        let hetero = self.rng.gen_bool(self.profile.hetero_fraction);
-        let h = self.rng.gen_range(0..self.hierarchies.len());
+        let hetero = self.rng.chance(self.profile.hetero_fraction);
+        let h = self.rng.below_usize(self.hierarchies.len());
         let nsubs = self.hierarchies[h].subs.len();
-        let s1 = self.rng.gen_range(0..nsubs);
+        let s1 = self.rng.below_usize(nsubs);
         let s2 = if hetero && nsubs > 1 { (s1 + 1) % nsubs } else { s1 };
         let cls1 = self.hierarchies[h].subs[s1];
         let cls2 = self.hierarchies[h].subs[s2];
@@ -433,9 +432,9 @@ impl<'p> Generator<'p> {
     /// subclasses, then a virtual call — a genuine poly site under every
     /// analysis (devirtualization work).
     fn emit_poly_block(&mut self, w: MethodId, block: usize) -> Result<(), JirError> {
-        let h = self.rng.gen_range(0..self.hierarchies.len());
+        let h = self.rng.below_usize(self.hierarchies.len());
         let nsubs = self.hierarchies[h].subs.len();
-        let s1 = self.rng.gen_range(0..nsubs);
+        let s1 = self.rng.below_usize(nsubs);
         let s2 = (s1 + 1) % nsubs;
         let cls1 = self.hierarchies[h].subs[s1];
         let cls2 = self.hierarchies[h].subs[s2];
@@ -494,14 +493,14 @@ impl<'p> Generator<'p> {
     fn emit_list_block(&mut self, w: MethodId, block: usize) -> Result<(), JirError> {
         let list_cls = self.std.array_list;
         let list_init = self.std.list_init;
-        let hetero = self.rng.gen_bool(self.profile.hetero_fraction);
+        let hetero = self.rng.chance(self.profile.hetero_fraction);
         let via_helper =
-            !self.helpers.is_empty() && self.rng.gen_bool(self.profile.helper_fraction);
-        let h = self.rng.gen_range(0..self.hierarchies.len());
+            !self.helpers.is_empty() && self.rng.chance(self.profile.helper_fraction);
+        let h = self.rng.below_usize(self.hierarchies.len());
         let nsubs = self.hierarchies[h].subs.len();
-        let s1 = self.rng.gen_range(0..nsubs);
+        let s1 = self.rng.below_usize(nsubs);
         let s2 = if hetero && nsubs > 1 {
-            (s1 + 1 + self.rng.gen_range(0..nsubs - 1)) % nsubs
+            (s1 + 1 + self.rng.below_usize(nsubs - 1)) % nsubs
         } else {
             s1
         };
@@ -552,7 +551,7 @@ impl<'p> Generator<'p> {
         let wrap = self.wrap.expect("wrapper class exists");
         let steps = self.profile.wrapper_chain;
         let picks: Vec<usize> = (0..steps)
-            .map(|_| self.rng.gen_range(0..self.wrap_factory_count))
+            .map(|_| self.rng.below_usize(self.wrap_factory_count))
             .collect();
         let inner = self.wrap_inner.expect("wrapper field exists");
         let mut body = self.b.body(w);

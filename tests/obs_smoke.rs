@@ -1,0 +1,217 @@
+//! End-to-end smoke tests for the `obs` telemetry layer: deterministic
+//! counters on the figure-1 corpus program, span-nesting invariants,
+//! and both export formats written to disk and re-parsed.
+//!
+//! The `obs` registry is process-global, so every test here takes the
+//! same lock and resets the registry before making assertions.
+
+use std::sync::Mutex;
+
+use mahjong::{build_heap_abstraction, MahjongConfig};
+use obs::json;
+use pta::Budget;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    obs::reset();
+    obs::set_enabled(true);
+    guard
+}
+
+fn counter(name: &str) -> u64 {
+    obs::counter(name).get()
+}
+
+fn load_figure1() -> jir::Program {
+    let path = format!("{}/../../corpus/figure1.jir", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    jir::parse(&src).expect("figure1 parses")
+}
+
+/// The full pre-analysis pipeline on the paper's Figure 1 example
+/// leaves exact, reproducible numbers in the registry.
+#[test]
+fn figure1_counters_are_deterministic() {
+    let _guard = lock();
+    let p = load_figure1();
+    let pre = pta::pre_analysis(&p).unwrap();
+    let out = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
+
+    assert_eq!(counter("mahjong.objects"), 6);
+    assert_eq!(counter("mahjong.merged_objects"), 4);
+    assert_eq!(counter("mahjong.equivalence_checks"), out.stats.equivalence_checks);
+    assert_eq!(
+        counter("automata.hk_queries"),
+        out.stats.equivalence_checks,
+        "one Hopcroft–Karp query per equivalence check"
+    );
+    assert!(counter("automata.hk_unionfind_ops") > 0);
+    assert!(counter("pta.worklist_pops") > 0);
+
+    // Rerunning the identical pipeline doubles the monotonic counters.
+    let pre2 = pta::pre_analysis(&p).unwrap();
+    let _ = build_heap_abstraction(&p, &pre2, &MahjongConfig::default());
+    assert_eq!(counter("mahjong.objects"), 12);
+    assert_eq!(counter("mahjong.equivalence_checks"), 2 * out.stats.equivalence_checks);
+}
+
+/// Every pipeline stage leaves its named phase in the span log.
+#[test]
+fn pipeline_phases_are_recorded() {
+    let _guard = lock();
+    let p = load_figure1();
+    let pre = pta::pre_analysis(&p).unwrap();
+    let _ = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
+
+    let r = obs::registry();
+    for phase in [
+        "pre_analysis",
+        "solver.init",
+        "solver.fixpoint",
+        "solver.finalize",
+        "mahjong.fpg_build",
+        "mahjong.automata_build",
+        "mahjong.equivalence_check",
+    ] {
+        let totals = r.phase_totals();
+        let found = totals.iter().find(|t| t.name == phase);
+        assert!(found.is_some(), "phase `{phase}` missing from span log");
+        assert!(found.unwrap().count >= 1);
+    }
+}
+
+/// Nested spans record increasing depths and parent-contained
+/// intervals.
+#[test]
+fn spans_nest() {
+    let _guard = lock();
+    {
+        let _a = obs::span("smoke.outer");
+        let _b = obs::span("smoke.inner");
+        let _c = obs::span("smoke.innermost");
+    }
+    let spans = obs::registry().spans();
+    let find = |name: &str| spans.iter().find(|s| s.name == name).expect(name).clone();
+    let outer = find("smoke.outer");
+    let inner = find("smoke.inner");
+    let innermost = find("smoke.innermost");
+    assert_eq!(inner.depth, outer.depth + 1);
+    assert_eq!(innermost.depth, inner.depth + 1);
+    // Drop order closes children first, so each child interval sits
+    // inside its parent's (1 µs slack for clock granularity).
+    assert!(inner.start_us >= outer.start_us);
+    assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us + 1);
+    assert!(innermost.start_us >= inner.start_us);
+    assert!(innermost.start_us + innermost.dur_us <= inner.start_us + inner.dur_us + 1);
+}
+
+/// The Chrome trace export is valid JSON made of complete (`"X"`)
+/// events plus exactly one instant counters event.
+#[test]
+fn chrome_trace_is_valid() {
+    let _guard = lock();
+    let p = load_figure1();
+    let pre = pta::pre_analysis(&p).unwrap();
+    let _ = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
+
+    let doc = json::parse(&obs::export_chrome_trace()).expect("trace parses");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(events.len() > 1);
+    let mut instants = 0;
+    for ev in events {
+        match ev.get("ph").unwrap().as_str().unwrap() {
+            "X" => {
+                assert!(ev.get("name").unwrap().as_str().is_some());
+                assert!(ev.get("ts").unwrap().as_u64().is_some());
+                assert!(ev.get("dur").unwrap().as_u64().is_some());
+                assert!(ev.get("args").unwrap().get("depth").is_some());
+            }
+            "i" => instants += 1,
+            other => panic!("unexpected event phase `{other}`"),
+        }
+    }
+    assert_eq!(instants, 1, "exactly one counters metadata event");
+}
+
+/// The full pipeline — pre-analysis, Mahjong, main analysis — on a
+/// generated workload writes both export formats to disk; both re-parse
+/// and carry per-phase wall-clock for every pipeline stage.
+#[test]
+fn full_pipeline_exports_roundtrip() {
+    let _guard = lock();
+    let prepared = bench::prepare("luindex", 1, &MahjongConfig::default());
+    let outcome = bench::run_configuration(
+        &prepared.program,
+        bench::Sensitivity::Cs(1),
+        bench::HeapKind::Mahjong,
+        &prepared.mahjong.mom,
+        Budget::seconds(120),
+    );
+    assert!(outcome.seconds.is_some(), "scale-1 run fits its budget");
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let jsonl_path = dir.join(format!("obs_smoke_{pid}.jsonl"));
+    let trace_path = dir.join(format!("obs_smoke_{pid}.trace.json"));
+    std::fs::write(&jsonl_path, obs::export_jsonl()).unwrap();
+    std::fs::write(&trace_path, obs::export_chrome_trace()).unwrap();
+
+    // JSON-Lines: every line parses; the pipeline stages all report
+    // wall-clock.
+    let jsonl = std::fs::read_to_string(&jsonl_path).unwrap();
+    let mut phases: Vec<(String, u64)> = Vec::new();
+    for line in jsonl.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("bad JSONL line `{line}`: {e:?}"));
+        if v.get("type").unwrap().as_str() == Some("phase") {
+            phases.push((
+                v.get("name").unwrap().as_str().unwrap().to_owned(),
+                v.get("total_us").unwrap().as_u64().unwrap(),
+            ));
+        }
+    }
+    for phase in [
+        "pre_analysis",
+        "mahjong.automata_build",
+        "mahjong.equivalence_check",
+        "solver.fixpoint",
+        "main_analysis",
+    ] {
+        assert!(
+            phases.iter().any(|(name, _)| name == phase),
+            "JSONL lacks phase `{phase}`"
+        );
+    }
+
+    // Chrome trace: parses, and the same stages appear as X events.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let doc = json::parse(&trace).expect("trace parses");
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    for phase in ["pre_analysis", "mahjong.equivalence_check", "main_analysis"] {
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").unwrap().as_str() == Some(phase)),
+            "trace lacks span `{phase}`"
+        );
+    }
+
+    std::fs::remove_file(&jsonl_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+}
+
+/// `OBS_DISABLE`-style runtime disabling turns recording into no-ops
+/// end to end.
+#[test]
+fn disabled_pipeline_records_nothing() {
+    let _guard = lock();
+    obs::set_enabled(false);
+    let p = load_figure1();
+    let pre = pta::pre_analysis(&p).unwrap();
+    let _ = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
+    assert_eq!(counter("mahjong.objects"), 0);
+    assert_eq!(counter("pta.worklist_pops"), 0);
+    assert!(obs::registry().spans().is_empty());
+    obs::set_enabled(true);
+}

@@ -5,7 +5,7 @@
 use mahjong::build::{dfa_for_root, RootAutomaton};
 use mahjong::oracle::{exact_depth_for_acyclic, type_consistent_bounded};
 use mahjong::{FieldPointsToGraph, FpgBuilder};
-use proptest::prelude::*;
+use obs::rng::SplitMix64;
 
 /// Decides type-consistency through the automata path (the production
 /// pipeline's decision procedure).
@@ -24,64 +24,64 @@ fn automata_consistent(fpg: &FieldPointsToGraph, a: jir::AllocId, b: jir::AllocI
 /// A random *acyclic* FPG: `n` nodes over `t` types and `f` fields,
 /// edges only from lower-index to higher-index nodes (so the bounded
 /// oracle is exact).
-fn arb_acyclic_fpg(
+fn random_acyclic_fpg(
+    rng: &mut SplitMix64,
     n: usize,
     t: usize,
     f: usize,
-) -> impl Strategy<Value = (FieldPointsToGraph, Vec<jir::AllocId>)> {
-    let types = prop::collection::vec(0..t, n);
-    let edges = prop::collection::vec((0..n, 0..f, 0..n), 0..n * 2);
-    (types, edges).prop_map(move |(types, edges)| {
-        let mut b = FpgBuilder::new();
-        let tys: Vec<_> = (0..t).map(|i| b.ty(&format!("T{i}"))).collect();
-        let fields: Vec<_> = (0..f).map(|i| b.field(&format!("f{i}"))).collect();
-        let allocs: Vec<_> = types.iter().map(|&ti| b.alloc(tys[ti])).collect();
-        for (from, field, to) in edges {
-            // Orient edges forward to keep the graph acyclic.
-            let (lo, hi) = (from.min(to), from.max(to));
-            if lo != hi {
-                b.edge(allocs[lo], fields[field], allocs[hi]);
-            }
+) -> (FieldPointsToGraph, Vec<jir::AllocId>) {
+    let mut b = FpgBuilder::new();
+    let tys: Vec<_> = (0..t).map(|i| b.ty(&format!("T{i}"))).collect();
+    let fields: Vec<_> = (0..f).map(|i| b.field(&format!("f{i}"))).collect();
+    let allocs: Vec<_> = (0..n).map(|_| b.alloc(tys[rng.below_usize(t)])).collect();
+    let edge_count = rng.below_usize(n * 2);
+    for _ in 0..edge_count {
+        let from = rng.below_usize(n);
+        let field = rng.below_usize(f);
+        let to = rng.below_usize(n);
+        // Orient edges forward to keep the graph acyclic.
+        let (lo, hi) = (from.min(to), from.max(to));
+        if lo != hi {
+            b.edge(allocs[lo], fields[field], allocs[hi]);
         }
-        (b.finish(), allocs)
-    })
+    }
+    (b.finish(), allocs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    /// On acyclic graphs the bounded oracle is exact; the automata
-    /// decision must agree on every same-type pair.
-    #[test]
-    fn automata_agree_with_oracle_on_acyclic_fpgs(
-        (fpg, allocs) in arb_acyclic_fpg(8, 3, 3)
-    ) {
+/// On acyclic graphs the bounded oracle is exact; the automata
+/// decision must agree on every same-type pair.
+#[test]
+fn automata_agree_with_oracle_on_acyclic_fpgs() {
+    let mut rng = SplitMix64::new(0x0_0AC1E_0001);
+    for _ in 0..CASES {
+        let (fpg, allocs) = random_acyclic_fpg(&mut rng, 8, 3, 3);
         let depth = exact_depth_for_acyclic(&fpg);
         for i in 0..allocs.len() {
             for j in (i + 1)..allocs.len() {
                 let (a, b) = (allocs[i], allocs[j]);
                 let fast = automata_consistent(&fpg, a, b);
                 let slow = type_consistent_bounded(&fpg, a, b, depth, true);
-                prop_assert_eq!(
-                    fast, slow,
-                    "disagreement on ({:?}, {:?})", a, b
-                );
+                assert_eq!(fast, slow, "disagreement on ({a:?}, {b:?})");
             }
         }
     }
+}
 
-    /// Type-consistency is an equivalence relation (the paper proves ≡
-    /// reflexive, symmetric, transitive): check symmetry and
-    /// transitivity on random graphs via the automata path.
-    #[test]
-    fn type_consistency_is_an_equivalence_relation(
-        (fpg, allocs) in arb_acyclic_fpg(7, 2, 2)
-    ) {
+/// Type-consistency is an equivalence relation (the paper proves ≡
+/// reflexive, symmetric, transitive): check symmetry and transitivity
+/// on random graphs via the automata path.
+#[test]
+fn type_consistency_is_an_equivalence_relation() {
+    let mut rng = SplitMix64::new(0x0_0AC1E_0002);
+    for _ in 0..CASES {
+        let (fpg, allocs) = random_acyclic_fpg(&mut rng, 7, 2, 2);
         // Reflexivity.
         for &a in &allocs {
             let (auto, _) = dfa_for_root(&fpg, a, true);
             if let RootAutomaton::Dfa(d) = auto {
-                prop_assert!(d.equivalent(&d.clone()));
+                assert!(d.equivalent(&d.clone()));
             }
         }
         // Symmetry and transitivity.
@@ -89,14 +89,14 @@ proptest! {
             for j in 0..allocs.len() {
                 let ij = automata_consistent(&fpg, allocs[i], allocs[j]);
                 let ji = automata_consistent(&fpg, allocs[j], allocs[i]);
-                prop_assert_eq!(ij, ji, "symmetry");
+                assert_eq!(ij, ji, "symmetry");
                 if !ij {
                     continue;
                 }
                 for k in 0..allocs.len() {
                     let jk = automata_consistent(&fpg, allocs[j], allocs[k]);
                     if jk {
-                        prop_assert!(
+                        assert!(
                             automata_consistent(&fpg, allocs[i], allocs[k]),
                             "transitivity"
                         );
@@ -105,30 +105,34 @@ proptest! {
             }
         }
     }
+}
 
-    /// Merging respects the TYPEOF guard: objects in one equivalence
-    /// class always share a type.
-    #[test]
-    fn merged_classes_are_type_homogeneous(
-        (fpg, _allocs) in arb_acyclic_fpg(10, 3, 3)
-    ) {
+/// Merging respects the TYPEOF guard: objects in one equivalence class
+/// always share a type.
+#[test]
+fn merged_classes_are_type_homogeneous() {
+    let mut rng = SplitMix64::new(0x0_0AC1E_0003);
+    for _ in 0..CASES {
+        let (fpg, _allocs) = random_acyclic_fpg(&mut rng, 10, 3, 3);
         let out = mahjong::merge_equivalent_objects(&fpg, &mahjong::MahjongConfig::default());
         for class in out.mom.classes() {
             let first = fpg.node_type(mahjong::FpgNode::Alloc(class[0]));
             for &m in &class[1..] {
-                prop_assert_eq!(fpg.node_type(mahjong::FpgNode::Alloc(m)), first);
+                assert_eq!(fpg.node_type(mahjong::FpgNode::Alloc(m)), first);
             }
         }
     }
+}
 
-    /// The merge driver is idempotent: re-running Mahjong on a graph
-    /// whose objects were already merged (one representative per class)
-    /// merges nothing further... checked indirectly: every pair of
-    /// distinct representatives is NOT type-consistent.
-    #[test]
-    fn representatives_are_pairwise_inconsistent(
-        (fpg, _allocs) in arb_acyclic_fpg(8, 2, 2)
-    ) {
+/// The merge driver is idempotent: re-running Mahjong on a graph whose
+/// objects were already merged (one representative per class) merges
+/// nothing further... checked indirectly: every pair of distinct
+/// representatives is NOT type-consistent.
+#[test]
+fn representatives_are_pairwise_inconsistent() {
+    let mut rng = SplitMix64::new(0x0_0AC1E_0004);
+    for _ in 0..CASES {
+        let (fpg, _allocs) = random_acyclic_fpg(&mut rng, 8, 2, 2);
         let out = mahjong::merge_equivalent_objects(&fpg, &mahjong::MahjongConfig::default());
         let reps: Vec<jir::AllocId> = out
             .mom
@@ -138,7 +142,7 @@ proptest! {
             .collect();
         for i in 0..reps.len() {
             for j in (i + 1)..reps.len() {
-                prop_assert!(
+                assert!(
                     !automata_consistent(&fpg, reps[i], reps[j]),
                     "representatives {:?} and {:?} should not merge",
                     reps[i],
