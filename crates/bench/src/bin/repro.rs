@@ -118,10 +118,48 @@ fn main() {
     }
     if let Some(path) = &args.metrics_json {
         write_or_die(path, &obs::export_jsonl());
+        let bench = bench_pta_path(path);
+        write_or_die(&bench, &bench_pta_json(&args));
+        eprintln!("repro: wrote {bench}");
     }
     if let Some(path) = &args.trace {
         write_or_die(path, &obs::export_chrome_trace());
     }
+}
+
+/// `BENCH_pta.json` lands next to the `--metrics-json` file.
+fn bench_pta_path(metrics_path: &str) -> String {
+    let p = std::path::Path::new(metrics_path);
+    p.with_file_name("BENCH_pta.json")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// A small, stable-schema benchmark record for per-PR tracking: phase
+/// wall-clock, propagation-volume counters, and the peak points-to-set
+/// footprint in 64-bit words.
+fn bench_pta_json(args: &Args) -> String {
+    let r = obs::registry();
+    let phase = |name: &str| r.phase_time(name).as_secs_f64();
+    format!(
+        "{{\n  \"exp\": \"{}\",\n  \"scale\": {},\n  \"budget_secs\": {},\n  \
+         \"phase_secs\": {{\n    \"pre_analysis\": {:.6},\n    \"mahjong\": {:.6},\n    \
+         \"main_analysis\": {:.6}\n  }},\n  \
+         \"worklist_pops\": {},\n  \"propagated_objects\": {},\n  \"delta_objects\": {},\n  \
+         \"copy_edges\": {},\n  \"pts_peak_words\": {}\n}}\n",
+        args.exp,
+        args.scale,
+        args.budget,
+        phase("pre_analysis"),
+        phase("mahjong.fpg_build") + phase("mahjong.automata_build")
+            + phase("mahjong.equivalence_check"),
+        phase("main_analysis"),
+        obs::counter("pta.worklist_pops").get(),
+        obs::counter("pta.propagated_objects").get(),
+        obs::counter("pta.delta_objects").get(),
+        obs::counter("pta.copy_edges").get(),
+        obs::gauge("pta.pts_peak_words").get(),
+    )
 }
 
 fn write_or_die(path: &str, contents: &str) {

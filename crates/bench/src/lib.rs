@@ -28,7 +28,7 @@ use clients::ClientMetrics;
 use jir::Program;
 use mahjong::{FieldPointsToGraph, MahjongConfig, MahjongOutput, Representative};
 use pta::{
-    AllocSiteAbstraction, AllocTypeAbstraction, Analysis, AnalysisResult, Budget,
+    AllocSiteAbstraction, AllocTypeAbstraction, AnalysisConfig, AnalysisResult, Budget,
     CallSiteSensitive, ContextInsensitive, HeapAbstraction, MergedObjectMap, ObjectSensitive,
     TypeSensitive,
 };
@@ -147,17 +147,17 @@ fn run_with_heap<H: HeapAbstraction>(
     let _phase = obs::span("main_analysis");
     let start = Instant::now();
     let result = match sensitivity {
-        Sensitivity::Ci => Analysis::new(ContextInsensitive, heap)
-            .with_budget(budget)
+        Sensitivity::Ci => AnalysisConfig::new(ContextInsensitive, heap)
+            .budget(budget)
             .run(program),
-        Sensitivity::Cs(k) => Analysis::new(CallSiteSensitive::new(k), heap)
-            .with_budget(budget)
+        Sensitivity::Cs(k) => AnalysisConfig::new(CallSiteSensitive::new(k), heap)
+            .budget(budget)
             .run(program),
-        Sensitivity::Obj(k) => Analysis::new(ObjectSensitive::new(k), heap)
-            .with_budget(budget)
+        Sensitivity::Obj(k) => AnalysisConfig::new(ObjectSensitive::new(k), heap)
+            .budget(budget)
             .run(program),
-        Sensitivity::Type(k) => Analysis::new(TypeSensitive::new(k), heap)
-            .with_budget(budget)
+        Sensitivity::Type(k) => AnalysisConfig::new(TypeSensitive::new(k), heap)
+            .budget(budget)
             .run(program),
     };
     match result {
@@ -198,8 +198,8 @@ pub fn prepare(name: &str, scale: usize, config: &MahjongConfig) -> Prepared {
     let t = Instant::now();
     let pre = {
         let _phase = obs::span("pre_analysis");
-        Analysis::new(ContextInsensitive, AllocSiteAbstraction)
-            .with_budget(Budget::seconds(600))
+        AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
+            .budget(Budget::seconds(600))
             .run(&program)
             .expect("pre-analysis fits its budget")
     };
@@ -526,12 +526,12 @@ pub struct AliasTradeoffRow {
 pub fn alias_tradeoff(name: &str, scale: usize, budget: Budget) -> AliasTradeoffRow {
     let prepared = prepare(name, scale, &MahjongConfig::default());
     let p = &prepared.program;
-    let base = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
-        .with_budget(budget)
+    let base = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+        .budget(budget)
         .run(p)
         .expect("baseline fits budget");
-    let merged = Analysis::new(ObjectSensitive::new(2), prepared.mahjong.mom.clone())
-        .with_budget(budget)
+    let merged = AnalysisConfig::new(ObjectSensitive::new(2), prepared.mahjong.mom.clone())
+        .budget(budget)
         .run(p)
         .expect("merged run fits budget");
     let bm = ClientMetrics::compute(p, &base);

@@ -11,23 +11,14 @@
 //! demonstrates both directions.
 
 use jir::{MethodId, Program, VarId};
-use pta::AnalysisResult;
+use pta::{AnalysisResult, ObjId, PtsSet};
 
 /// Whether two variables may point to a common abstract object
 /// (context-insensitively collapsed).
 pub fn may_alias(result: &AnalysisResult, a: VarId, b: VarId) -> bool {
-    let pa = result.points_to_collapsed(a);
-    let pb = result.points_to_collapsed(b);
-    // Both sorted; linear intersection test.
-    let (mut i, mut j) = (0, 0);
-    while i < pa.len() && j < pb.len() {
-        match pa[i].cmp(&pb[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => return true,
-        }
-    }
-    false
+    result
+        .points_to_collapsed(a)
+        .intersects(&result.points_to_collapsed(b))
 }
 
 /// Summary statistics of the may-alias client over a method's local
@@ -46,7 +37,7 @@ pub fn method_alias_stats(program: &Program, result: &AnalysisResult, m: MethodI
         .map(VarId::from_usize)
         .filter(|&v| program.var(v).method() == m)
         .collect();
-    let pts: Vec<(VarId, Vec<pta::ObjId>)> = vars
+    let pts: Vec<(VarId, PtsSet<ObjId>)> = vars
         .iter()
         .map(|&v| (v, result.points_to_collapsed(v)))
         .filter(|(_, p)| !p.is_empty())
@@ -55,7 +46,7 @@ pub fn method_alias_stats(program: &Program, result: &AnalysisResult, m: MethodI
     for i in 0..pts.len() {
         for j in (i + 1)..pts.len() {
             stats.pairs += 1;
-            if intersects(&pts[i].1, &pts[j].1) {
+            if pts[i].1.intersects(&pts[j].1) {
                 stats.aliased += 1;
             }
         }
@@ -77,22 +68,10 @@ pub fn program_alias_stats(program: &Program, result: &AnalysisResult) -> AliasS
     total
 }
 
-fn intersects(a: &[pta::ObjId], b: &[pta::ObjId]) -> bool {
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => return true,
-        }
-    }
-    false
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pta::{AllocSiteAbstraction, Analysis, ContextInsensitive};
+    use pta::{AllocSiteAbstraction, AnalysisConfig, ContextInsensitive};
 
     #[test]
     fn distinct_objects_do_not_alias() {
@@ -101,7 +80,7 @@ mod tests {
                entry static method main() { x = new A; y = new A; return; } }",
         )
         .unwrap();
-        let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+        let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
             .run(&p)
             .unwrap();
         let find = |n: &str| {
@@ -122,7 +101,7 @@ mod tests {
                entry static method main() { x = new A; y = x; return; } }",
         )
         .unwrap();
-        let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+        let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
             .run(&p)
             .unwrap();
         let find = |n: &str| {
@@ -146,7 +125,7 @@ mod tests {
             jir::AllocId::from_usize(0),
             jir::AllocId::from_usize(0),
         ]);
-        let r = Analysis::new(ContextInsensitive, mom).run(&p).unwrap();
+        let r = AnalysisConfig::new(ContextInsensitive, mom).run(&p).unwrap();
         let stats = program_alias_stats(&p, &r);
         assert_eq!(stats.aliased, 1, "merging makes x and y alias");
     }

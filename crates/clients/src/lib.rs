@@ -19,7 +19,7 @@
 //! # Examples
 //!
 //! ```
-//! use pta::{Analysis, ContextInsensitive, AllocSiteAbstraction};
+//! use pta::{AnalysisConfig, ContextInsensitive, AllocSiteAbstraction};
 //! use clients::ClientMetrics;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,7 +35,7 @@
 //!        }
 //!      }",
 //! )?;
-//! let result = Analysis::new(ContextInsensitive, AllocSiteAbstraction).run(&program)?;
+//! let result = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction).run(&program)?;
 //! let metrics = ClientMetrics::compute(&program, &result);
 //! assert_eq!(metrics.poly_call_sites, 1);   // dispatches to A::foo and B::foo
 //! assert_eq!(metrics.may_fail_casts, 1);    // the A object fails (B) x
@@ -157,7 +157,7 @@ pub fn may_fail_casts(program: &Program, result: &AnalysisResult) -> MayFailCast
             let fails = result
                 .points_to_collapsed(rhs)
                 .iter()
-                .any(|&obj| !program.is_subtype(result.obj_type(obj), target));
+                .any(|obj| !program.is_subtype(result.obj_type(obj), target));
             if fails {
                 may_fail.push(site);
             }
@@ -222,11 +222,11 @@ impl CallGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pta::{AllocSiteAbstraction, Analysis, ContextInsensitive};
+    use pta::{AllocSiteAbstraction, AnalysisConfig, ContextInsensitive};
 
     fn analyze(src: &str) -> (Program, AnalysisResult) {
         let p = jir::parse(src).expect("parses");
-        let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+        let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
             .run(&p)
             .expect("fits budget");
         (p, r)

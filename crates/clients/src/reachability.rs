@@ -115,11 +115,11 @@ pub fn recursive_components(program: &Program, cg: &CallGraph) -> Vec<Vec<Method
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pta::{AllocSiteAbstraction, Analysis, ContextInsensitive};
+    use pta::{AllocSiteAbstraction, AnalysisConfig, ContextInsensitive};
 
     fn analyze(src: &str) -> (Program, AnalysisResult) {
         let p = jir::parse(src).unwrap();
-        let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+        let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
             .run(&p)
             .unwrap();
         (p, r)

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! mahjong-cli program.jir [--no-condition2] [--no-null] [--threads N] [--largest-repr]
-//!             [--metrics-json PATH] [--trace PATH]
+//!             [--budget SECS] [--metrics-json PATH] [--trace PATH]
 //! ```
 //!
 //! `--metrics-json` writes the telemetry registry as JSON-Lines and
@@ -16,10 +16,12 @@
 //! that interface for JIR programs.
 
 use mahjong::{build_with_fpg, MahjongConfig, Representative};
+use pta::{AllocSiteAbstraction, AnalysisConfig, ContextInsensitive};
 
 fn main() {
     let mut path: Option<String> = None;
     let mut config = MahjongConfig::default();
+    let mut budget_secs: Option<u64> = None;
     let mut metrics_json: Option<String> = None;
     let mut trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -34,6 +36,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--threads needs a number"));
             }
+            "--budget" => {
+                budget_secs = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| die("--budget needs a number of seconds")),
+                );
+            }
             "--metrics-json" => {
                 metrics_json =
                     Some(args.next().unwrap_or_else(|| die("--metrics-json needs a path")));
@@ -44,7 +53,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mahjong-cli <program.jir> [--no-condition2] [--no-null] \
-                     [--threads N] [--largest-repr] [--metrics-json PATH] [--trace PATH]"
+                     [--threads N] [--largest-repr] [--budget SECS] [--metrics-json PATH] \
+                     [--trace PATH]"
                 );
                 return;
             }
@@ -57,8 +67,19 @@ fn main() {
         .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let program = jir::parse(&source).unwrap_or_else(|e| die(&format!("parse error: {e}")));
 
-    let pre = pta::pre_analysis(&program)
-        .unwrap_or_else(|e| die(&format!("pre-analysis exceeded its budget: {e}")));
+    // The pre-analysis is a plain context-insensitive run; `--budget`
+    // routes through the same `AnalysisConfig` builder every other
+    // entry point uses.
+    let mut pre_cfg = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction);
+    if let Some(secs) = budget_secs {
+        pre_cfg = pre_cfg.time_limit_secs(secs);
+    }
+    let pre = {
+        let _phase = obs::span("pre_analysis");
+        pre_cfg
+            .run(&program)
+            .unwrap_or_else(|e| die(&format!("pre-analysis exceeded its budget: {e}")))
+    };
     let (fpg, out) = build_with_fpg(&program, &pre, &config);
 
     println!(

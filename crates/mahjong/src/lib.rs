@@ -33,7 +33,7 @@
 //!
 //! ```
 //! use mahjong::{build_heap_abstraction, MahjongConfig};
-//! use pta::{Analysis, ObjectSensitive, HeapAbstraction};
+//! use pta::{AnalysisConfig, ObjectSensitive, HeapAbstraction};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let program = jir::parse(
@@ -62,7 +62,7 @@
 //! assert_eq!(out.stats.merged_objects, 4);
 //!
 //! // The map drops into any allocation-site-based analysis:
-//! let m2obj = Analysis::new(ObjectSensitive::new(2), out.mom).run(&program)?;
+//! let m2obj = AnalysisConfig::new(ObjectSensitive::new(2), out.mom).run(&program)?;
 //! assert!(m2obj.object_count() <= 4);
 //! # Ok(())
 //! # }

@@ -19,12 +19,16 @@
 //! context elements are automatically replaced by their class
 //! representatives, exactly as prescribed in paper Section 3.6.1.
 //!
+//! Points-to sets are hybrid sorted-vec / bitmap [`PtsSet`]s (from the
+//! `pts` crate) and the result API is borrow-first: accessors hand out
+//! `&PtsSet<ObjId>` views with `to_vec()` as the owned escape hatch.
+//!
 //! # Examples
 //!
 //! Running a 2-object-sensitive analysis:
 //!
 //! ```
-//! use pta::{Analysis, ObjectSensitive, AllocSiteAbstraction};
+//! use pta::{AnalysisConfig, ObjectSensitive, AllocSiteAbstraction};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let program = jir::parse(
@@ -38,7 +42,7 @@
 //!        }
 //!      }",
 //! )?;
-//! let result = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+//! let result = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
 //!     .run(&program)?;
 //! assert!(result.call_graph_edge_count() >= 1);
 //! # Ok(())
@@ -62,5 +66,9 @@ pub use context::{
 };
 pub use heap::{AllocSiteAbstraction, AllocTypeAbstraction, HeapAbstraction, MergedObjectMap};
 pub use object::{ObjId, ObjTable};
+pub use pts::PtsSet;
 pub use result::{AnalysisResult, AnalysisStats};
-pub use solver::{pre_analysis, Analysis, Budget, PtrId, PtrKey, Unscalable};
+pub use solver::{pre_analysis, AnalysisConfig, Budget, PtrId, PtrKey, Unscalable};
+
+#[allow(deprecated)]
+pub use solver::Analysis;

@@ -23,6 +23,17 @@ impl std::fmt::Debug for ObjId {
     }
 }
 
+/// Object ids are dense arena indices, so points-to sets over them can
+/// use the hybrid vec/bitmap representation from the `pts` crate.
+impl pts::Elem for ObjId {
+    fn into_index(self) -> usize {
+        self.0 as usize
+    }
+    fn from_index(i: usize) -> Self {
+        ObjId(u32::try_from(i).expect("object index fits u32"))
+    }
+}
+
 /// Hash-consing arena of abstract heap objects.
 ///
 /// Under the allocation-site abstraction each entry pairs an allocation

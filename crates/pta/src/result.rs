@@ -1,14 +1,26 @@
 //! Analysis results: points-to sets, the discovered call graph, and the
 //! query API consumed by the clients and by Mahjong's FPG builder.
+//!
+//! The query API is **borrow-first**: points-to accessors return
+//! `&PtsSet<ObjId>` views into the solver's final state (the empty set
+//! for pointers that never arose) and [`AnalysisResult::call_targets`]
+//! returns a precomputed sorted slice. Callers that need owned data use
+//! [`pts::PtsSet::to_vec`] as the escape hatch; nothing allocates per
+//! query.
 
 use std::time::Duration;
 
 use jir::{AllocId, CallSiteId, FieldId, MethodId, TypeId, VarId};
+use pts::PtsSet;
 
 use crate::context::{ContextArena, CtxId};
 use crate::object::{ObjId, ObjTable};
 use crate::solver::{PtrId, PtrKey};
 use crate::util::{FastMap, FastSet};
+
+/// The empty points-to set, returned by reference for pointers that
+/// never arose during the analysis.
+static EMPTY_PTS: PtsSet<ObjId> = PtsSet::new();
 
 /// Counters describing one solver run.
 ///
@@ -27,10 +39,17 @@ pub struct AnalysisStats {
     pub fixpoint_time: Duration,
     /// Wall-clock spent assembling the result (`solver.finalize`).
     pub finalize_time: Duration,
-    /// Worklist entries processed.
+    /// Worklist entries processed. One pop consumes a pointer's whole
+    /// coalesced delta, so this is typically far below `delta_objects`.
     pub worklist_pops: u64,
-    /// Objects pushed through the graph (sum of delta sizes).
+    /// Objects pushed through the constraint graph: the sum of popped
+    /// delta sizes over pointers with at least one consumer (copy edge,
+    /// load, store, or call). Deltas popped at sink pointers die in
+    /// place and are excluded; `delta_objects` counts everything.
     pub propagated_objects: u64,
+    /// Total points-to set insertion events (every popped delta
+    /// object, consumers or not). Equals the sum of final set sizes.
+    pub delta_objects: u64,
     /// Copy edges in the final constraint graph.
     pub copy_edges: u64,
     /// Context-insensitive call-graph edges discovered.
@@ -39,22 +58,31 @@ pub struct AnalysisStats {
     pub reachable_method_contexts: u64,
     /// Distinct calling contexts created.
     pub context_count: usize,
+    /// Peak memory footprint of all points-to sets, in 64-bit words
+    /// (sets only grow, so the final footprint is the peak).
+    pub pts_peak_words: u64,
 }
 
 impl AnalysisStats {
     /// Publishes the run's counters into the global [`obs`] registry
     /// (no-op while recording is disabled). Counters are monotonic, so
-    /// repeated runs aggregate.
+    /// repeated runs aggregate; the peak-words gauge keeps the largest
+    /// run's value.
     pub fn publish(&self) {
         if !obs::enabled() {
             return;
         }
         obs::counter("pta.worklist_pops").add(self.worklist_pops);
         obs::counter("pta.propagated_objects").add(self.propagated_objects);
+        obs::counter("pta.delta_objects").add(self.delta_objects);
         obs::counter("pta.copy_edges").add(self.copy_edges);
         obs::counter("pta.call_graph_edges").add(self.call_graph_edges);
         obs::counter("pta.reachable_method_contexts").add(self.reachable_method_contexts);
         obs::counter("pta.contexts_created").add(self.context_count as u64);
+        let peak = obs::gauge("pta.pts_peak_words");
+        if self.pts_peak_words as i64 > peak.get() {
+            peak.set(self.pts_peak_words as i64);
+        }
     }
 }
 
@@ -65,7 +93,7 @@ pub struct AnalysisResult {
     objs: ObjTable,
     ptr_keys: Vec<PtrKey>,
     ptr_map: FastMap<PtrKey, PtrId>,
-    pts: Vec<FastSet<ObjId>>,
+    pts: Vec<PtsSet<ObjId>>,
     reachable: FastSet<(CtxId, MethodId)>,
     reachable_methods: FastSet<MethodId>,
     cg_edges: FastSet<(CallSiteId, MethodId)>,
@@ -75,6 +103,9 @@ pub struct AnalysisResult {
     method_ctxs: FastMap<MethodId, Vec<CtxId>>,
     /// Pointer nodes per variable (all contexts).
     var_ptrs: FastMap<VarId, Vec<PtrId>>,
+    /// Sorted, deduplicated targets per call site (precomputed so
+    /// `call_targets` is an O(1) borrow instead of an edge scan).
+    site_targets: FastMap<CallSiteId, Vec<MethodId>>,
 }
 
 impl AnalysisResult {
@@ -84,7 +115,7 @@ impl AnalysisResult {
         objs: ObjTable,
         ptr_keys: Vec<PtrKey>,
         ptr_map: FastMap<PtrKey, PtrId>,
-        pts: Vec<FastSet<ObjId>>,
+        pts: Vec<PtsSet<ObjId>>,
         reachable: FastSet<(CtxId, MethodId)>,
         reachable_methods: FastSet<MethodId>,
         cg_edges: FastSet<(CallSiteId, MethodId)>,
@@ -101,6 +132,14 @@ impl AnalysisResult {
                 var_ptrs.entry(v).or_default().push(PtrId(i as u32));
             }
         }
+        let mut site_targets: FastMap<CallSiteId, Vec<MethodId>> = FastMap::default();
+        for &(s, m) in &cg_edges {
+            site_targets.entry(s).or_default().push(m);
+        }
+        for targets in site_targets.values_mut() {
+            targets.sort_unstable();
+            targets.dedup();
+        }
         AnalysisResult {
             arena,
             objs,
@@ -114,6 +153,7 @@ impl AnalysisResult {
             stats,
             method_ctxs,
             var_ptrs,
+            site_targets,
         }
     }
 
@@ -154,60 +194,51 @@ impl AnalysisResult {
     // --- Points-to queries ---------------------------------------------------
 
     /// Returns the points-to set of variable `var` under context `ctx`
-    /// (empty if the pointer never arose).
-    pub fn points_to(&self, ctx: CtxId, var: VarId) -> Vec<ObjId> {
+    /// (the empty set if the pointer never arose). Borrows; use
+    /// [`PtsSet::to_vec`] for an owned, sorted `Vec`.
+    pub fn points_to(&self, ctx: CtxId, var: VarId) -> &PtsSet<ObjId> {
         self.pts_of(PtrKey::Var(ctx, var))
     }
 
     /// Returns the context-insensitively collapsed points-to set of
-    /// `var`: the union over all contexts.
-    pub fn points_to_collapsed(&self, var: VarId) -> Vec<ObjId> {
-        let mut out: Vec<ObjId> = self
-            .var_ptrs
-            .get(&var)
-            .into_iter()
-            .flatten()
-            .flat_map(|p| self.pts[p.index()].iter())
-            .copied()
-            .collect();
-        out.sort_unstable();
-        out.dedup();
+    /// `var`: the union over all contexts (owned — it does not exist
+    /// anywhere in solver state).
+    pub fn points_to_collapsed(&self, var: VarId) -> PtsSet<ObjId> {
+        let mut out = PtsSet::new();
+        for p in self.var_ptrs.get(&var).into_iter().flatten() {
+            out.union_with(&self.pts[p.index()]);
+        }
         out
     }
 
     /// Returns the points-to set of `obj.field`.
-    pub fn field_points_to(&self, obj: ObjId, field: FieldId) -> Vec<ObjId> {
+    pub fn field_points_to(&self, obj: ObjId, field: FieldId) -> &PtsSet<ObjId> {
         self.pts_of(PtrKey::Field(obj, field))
     }
 
     /// Returns the points-to set of a static field.
-    pub fn static_points_to(&self, field: FieldId) -> Vec<ObjId> {
+    pub fn static_points_to(&self, field: FieldId) -> &PtsSet<ObjId> {
         self.pts_of(PtrKey::Static(field))
     }
 
-    fn pts_of(&self, key: PtrKey) -> Vec<ObjId> {
+    fn pts_of(&self, key: PtrKey) -> &PtsSet<ObjId> {
         match self.ptr_map.get(&key) {
-            Some(p) => {
-                let mut v: Vec<ObjId> = self.pts[p.index()].iter().copied().collect();
-                v.sort_unstable();
-                v
-            }
-            None => Vec::new(),
+            Some(p) => &self.pts[p.index()],
+            None => &EMPTY_PTS,
         }
     }
 
     /// Iterates over all `(object, field, points-to set)` triples — the
-    /// raw material of Mahjong's field points-to graph.
-    pub fn field_pointers(&self) -> impl Iterator<Item = (ObjId, FieldId, Vec<ObjId>)> + '_ {
+    /// raw material of Mahjong's field points-to graph. Sets are
+    /// borrowed; iteration order of each set is ascending.
+    pub fn field_pointers(
+        &self,
+    ) -> impl Iterator<Item = (ObjId, FieldId, &PtsSet<ObjId>)> + '_ {
         self.ptr_keys
             .iter()
             .enumerate()
             .filter_map(move |(i, key)| match *key {
-                PtrKey::Field(obj, field) => {
-                    let mut v: Vec<ObjId> = self.pts[i].iter().copied().collect();
-                    v.sort_unstable();
-                    Some((obj, field, v))
-                }
+                PtrKey::Field(obj, field) => Some((obj, field, &self.pts[i])),
                 _ => None,
             })
     }
@@ -240,17 +271,13 @@ impl AnalysisResult {
         self.cs_cg_edge_count
     }
 
-    /// Returns the targets discovered for one call site.
-    pub fn call_targets(&self, site: CallSiteId) -> Vec<MethodId> {
-        let mut v: Vec<MethodId> = self
-            .cg_edges
-            .iter()
-            .filter(|&&(s, _)| s == site)
-            .map(|&(_, m)| m)
-            .collect();
-        v.sort_unstable();
-        v.dedup();
-        v
+    /// Returns the targets discovered for one call site, sorted and
+    /// deduplicated (empty for unresolved or unreachable sites).
+    pub fn call_targets(&self, site: CallSiteId) -> &[MethodId] {
+        self.site_targets
+            .get(&site)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Returns `true` if `method` is reachable from the entry point.

@@ -5,13 +5,25 @@
 //! Doop/Wala: flow-insensitive, field-sensitive, with a call graph
 //! discovered during the fixpoint. Context sensitivity and heap
 //! abstraction are pluggable ([`ContextSelector`], [`HeapAbstraction`]).
+//!
+//! # Difference propagation
+//!
+//! Points-to sets are [`pts::PtsSet`]s (hybrid sorted-vec / bitmap).
+//! The worklist holds dirty *pointers*, not `(pointer, objects)` pairs:
+//! each pointer carries one pending delta set into which all incoming
+//! news is coalesced until the pointer is popped. Popping forwards only
+//! that delta — never the full set — along copy edges via
+//! [`pts::PtsSet::union_into`], whose returned delta seeds the next
+//! hop. Type-filtered (cast) edges intersect against a per-type object
+//! mask with a word-wise AND instead of a per-object subtype walk.
 
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 use jir::{
-    CallKind, CallSiteId, CallTarget, FieldId, MethodId, Program, Stmt, TypeId, VarId,
+    AllocId, CallKind, CallSiteId, CallTarget, FieldId, MethodId, Program, Stmt, TypeId, VarId,
 };
+use pts::PtsSet;
 
 use crate::context::{ContextArena, ContextSelector, CtxId};
 use crate::heap::HeapAbstraction;
@@ -101,12 +113,14 @@ impl std::fmt::Display for Unscalable {
 
 impl std::error::Error for Unscalable {}
 
-/// A configured points-to analysis, ready to run on programs.
+/// One fully specified analysis run: context selector, heap
+/// abstraction, resource budget, and observability — the single
+/// construction path shared by the CLIs, the bench harness, and tests.
 ///
 /// # Examples
 ///
 /// ```
-/// use pta::{Analysis, ContextInsensitive, AllocSiteAbstraction};
+/// use pta::{AnalysisConfig, Budget, ContextInsensitive, AllocSiteAbstraction};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let program = jir::parse(
@@ -114,31 +128,51 @@ impl std::error::Error for Unscalable {}
 ///        entry static method main() { x = new A; return; }
 ///      }",
 /// )?;
-/// let result = Analysis::new(ContextInsensitive, AllocSiteAbstraction).run(&program)?;
+/// let result = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
+///     .budget(Budget::seconds(30))
+///     .run(&program)?;
 /// assert_eq!(result.object_count(), 1);
 /// # Ok(())
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct Analysis<S, H> {
+pub struct AnalysisConfig<S, H> {
     selector: S,
     heap: H,
     budget: Budget,
+    observability: Option<bool>,
 }
 
-impl<S: ContextSelector, H: HeapAbstraction> Analysis<S, H> {
-    /// Creates an analysis with the default [`Budget`].
+impl<S: ContextSelector, H: HeapAbstraction> AnalysisConfig<S, H> {
+    /// Creates a configuration with the default [`Budget`] and the
+    /// process-wide observability setting.
     pub fn new(selector: S, heap: H) -> Self {
-        Analysis {
+        AnalysisConfig {
             selector,
             heap,
             budget: Budget::default(),
+            observability: None,
         }
     }
 
     /// Replaces the resource budget.
-    pub fn with_budget(mut self, budget: Budget) -> Self {
+    pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Shorthand for [`AnalysisConfig::budget`] with a wall-clock limit
+    /// in seconds.
+    pub fn time_limit_secs(self, s: u64) -> Self {
+        self.budget(Budget::seconds(s))
+    }
+
+    /// Forces telemetry on or off for this run only (the process-wide
+    /// [`obs::set_enabled`] state is restored afterwards). Useful for
+    /// timing runs that must not pay recording overhead, or for
+    /// recording a single run inside an otherwise quiet batch.
+    pub fn observability(mut self, enabled: bool) -> Self {
+        self.observability = Some(enabled);
         self
     }
 
@@ -148,7 +182,49 @@ impl<S: ContextSelector, H: HeapAbstraction> Analysis<S, H> {
     ///
     /// Returns [`Unscalable`] if the budget is exhausted first.
     pub fn run(&self, program: &Program) -> Result<AnalysisResult, Unscalable> {
-        Solver::new(program, &self.selector, &self.heap, self.budget).solve()
+        match self.observability {
+            None => Solver::new(program, &self.selector, &self.heap, self.budget).solve(),
+            Some(on) => {
+                let prev = obs::enabled();
+                obs::set_enabled(on);
+                let r = Solver::new(program, &self.selector, &self.heap, self.budget).solve();
+                obs::set_enabled(prev);
+                r
+            }
+        }
+    }
+}
+
+/// A configured points-to analysis, ready to run on programs.
+#[derive(Debug)]
+#[doc(hidden)]
+pub struct Analysis<S, H> {
+    config: AnalysisConfig<S, H>,
+}
+
+impl<S: ContextSelector, H: HeapAbstraction> Analysis<S, H> {
+    /// Creates an analysis with the default [`Budget`].
+    #[deprecated(since = "0.1.0", note = "use `AnalysisConfig::new` instead")]
+    pub fn new(selector: S, heap: H) -> Self {
+        Analysis {
+            config: AnalysisConfig::new(selector, heap),
+        }
+    }
+
+    /// Replaces the resource budget.
+    #[deprecated(since = "0.1.0", note = "use `AnalysisConfig::budget` instead")]
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.config = self.config.budget(budget);
+        self
+    }
+
+    /// Runs the analysis to its fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Unscalable`] if the budget is exhausted first.
+    pub fn run(&self, program: &Program) -> Result<AnalysisResult, Unscalable> {
+        self.config.run(program)
     }
 }
 
@@ -174,12 +250,19 @@ struct Solver<'a, S, H> {
 
     ptr_map: FastMap<PtrKey, PtrId>,
     ptr_keys: Vec<PtrKey>,
-    pts: Vec<FastSet<ObjId>>,
+    pts: Vec<PtsSet<ObjId>>,
+    /// Pending (coalesced) delta per pointer; non-empty iff the pointer
+    /// is on the worklist.
+    pending: Vec<PtsSet<ObjId>>,
     /// Copy edges with an optional declared-type filter (cast edges).
     succ: Vec<Vec<(PtrId, Option<TypeId>)>>,
     loads: Vec<Vec<(FieldId, PtrId)>>,
     stores: Vec<Vec<(FieldId, PtrId)>>,
     calls: Vec<Vec<PendingCall>>,
+    /// Per-type object masks for cast filtering: `masks[ty]` holds every
+    /// interned object whose type is a subtype of `ty`. Built lazily on
+    /// the first cast against `ty`, maintained on object interning.
+    masks: FastMap<TypeId, PtsSet<ObjId>>,
 
     reachable: FastSet<(CtxId, MethodId)>,
     reachable_methods: FastSet<MethodId>,
@@ -190,7 +273,7 @@ struct Solver<'a, S, H> {
     /// Per-method return variables (cached).
     return_vars: Vec<Vec<VarId>>,
 
-    worklist: VecDeque<(PtrId, Vec<ObjId>)>,
+    worklist: VecDeque<PtrId>,
     /// Newly reachable `(context, method)` pairs awaiting statement
     /// processing (kept iterative to bound stack depth on deep call
     /// chains).
@@ -225,10 +308,12 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             ptr_map: FastMap::default(),
             ptr_keys: Vec::new(),
             pts: Vec::new(),
+            pending: Vec::new(),
             succ: Vec::new(),
             loads: Vec::new(),
             stores: Vec::new(),
             calls: Vec::new(),
+            masks: FastMap::default(),
             reachable: FastSet::default(),
             reachable_methods: FastSet::default(),
             cg_edges: FastSet::default(),
@@ -262,6 +347,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                     self.stats.elapsed = self.start.elapsed();
                     self.stats.context_count = self.arena.len();
                     self.stats.call_graph_edges = self.cg_edges.len() as u64;
+                    self.stats.pts_peak_words = self.pts_words();
                     self.stats.publish();
                     return Err(Unscalable {
                         elapsed: self.start.elapsed(),
@@ -272,7 +358,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             }
             if let Some((ctx, method)) = self.pending_methods.pop_front() {
                 self.process_method(ctx, method);
-            } else if let Some((ptr, delta)) = self.worklist.pop_front() {
+            } else if let Some(ptr) = self.worklist.pop_front() {
+                // Take the whole coalesced delta; the pointer re-enters
+                // the worklist if processing feeds it again.
+                let delta = std::mem::take(&mut self.pending[ptr.index()]);
                 self.stats.worklist_pops += 1;
                 delta_hist.record(delta.len() as u64);
                 self.process(ptr, &delta);
@@ -287,6 +376,8 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         let finalize_span = obs::span("solver.finalize");
         self.stats.context_count = self.arena.len();
         self.stats.call_graph_edges = self.cg_edges.len() as u64;
+        // Sets only grow, so the final footprint is the peak footprint.
+        self.stats.pts_peak_words = self.pts_words();
         if obs::enabled() {
             let pts_hist = obs::histogram("pta.points_to_set_size");
             for set in &self.pts {
@@ -313,6 +404,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         Ok(result.with_stats(self.stats))
     }
 
+    fn pts_words(&self) -> u64 {
+        self.pts.iter().map(|s| s.mem_words() as u64).sum()
+    }
+
     // --- Pointer graph primitives ----------------------------------------
 
     fn ptr(&mut self, key: PtrKey) -> PtrId {
@@ -322,7 +417,8 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         let p = PtrId(u32::try_from(self.ptr_keys.len()).expect("too many pointers"));
         self.ptr_map.insert(key, p);
         self.ptr_keys.push(key);
-        self.pts.push(FastSet::default());
+        self.pts.push(PtsSet::new());
+        self.pending.push(PtsSet::new());
         self.succ.push(Vec::new());
         self.loads.push(Vec::new());
         self.stores.push(Vec::new());
@@ -334,12 +430,79 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.ptr(PtrKey::Var(ctx, var))
     }
 
+    /// Interns an abstract object and keeps the lazily built type masks
+    /// consistent: a mask must contain every object whose type passes
+    /// its cast, including objects interned after the mask was built.
+    fn intern_obj(&mut self, hctx: CtxId, alloc: AllocId) -> ObjId {
+        let before = self.objs.len();
+        let obj = self.objs.intern(hctx, alloc, self.program);
+        if self.objs.len() > before && !self.masks.is_empty() {
+            let oty = self.objs.ty(obj);
+            for (&ty, mask) in self.masks.iter_mut() {
+                if self.program.is_subtype(oty, ty) {
+                    mask.insert(obj);
+                }
+            }
+        }
+        obj
+    }
+
+    /// Builds the object mask for `ty` if this is the first cast
+    /// against it.
+    fn ensure_mask(&mut self, ty: TypeId) {
+        if self.masks.contains_key(&ty) {
+            return;
+        }
+        let mut mask = PtsSet::new();
+        for o in self.objs.iter() {
+            if self.program.is_subtype(self.objs.ty(o), ty) {
+                mask.insert(o);
+            }
+        }
+        self.masks.insert(ty, mask);
+    }
+
+    /// Merges `delta` into the pointer's pending set, enqueueing the
+    /// pointer on the empty→non-empty transition (pending is non-empty
+    /// exactly while the pointer sits on the worklist).
+    fn queue_delta(&mut self, ptr: PtrId, delta: PtsSet<ObjId>) {
+        if delta.is_empty() {
+            return;
+        }
+        let pending = &mut self.pending[ptr.index()];
+        let newly_dirty = pending.is_empty();
+        pending.union_with(&delta);
+        if newly_dirty {
+            self.worklist.push_back(ptr);
+        }
+    }
+
     /// Seeds `objs` into `pts(ptr)`, enqueueing the genuinely new part.
     fn add_objects(&mut self, ptr: PtrId, objs: impl IntoIterator<Item = ObjId>) {
         let set = &mut self.pts[ptr.index()];
-        let delta: Vec<ObjId> = objs.into_iter().filter(|&o| set.insert(o)).collect();
-        if !delta.is_empty() {
-            self.worklist.push_back((ptr, delta));
+        let mut delta = PtsSet::new();
+        for o in objs {
+            if set.insert(o) {
+                delta.insert(o);
+            }
+        }
+        self.queue_delta(ptr, delta);
+    }
+
+    /// Borrows two distinct points-to sets, source shared and target
+    /// mutable, out of the arena.
+    fn two_sets(
+        pts: &mut [PtsSet<ObjId>],
+        src: usize,
+        dst: usize,
+    ) -> (&PtsSet<ObjId>, &mut PtsSet<ObjId>) {
+        debug_assert_ne!(src, dst);
+        if src < dst {
+            let (lo, hi) = pts.split_at_mut(dst);
+            (&lo[src], &mut hi[0])
+        } else {
+            let (lo, hi) = pts.split_at_mut(src);
+            (&hi[0], &mut lo[dst])
         }
     }
 
@@ -355,53 +518,80 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         }
         row.push((to, filter));
         self.stats.copy_edges += 1;
-        if !self.pts[from.index()].is_empty() {
-            let existing: Vec<ObjId> = self.pts[from.index()].iter().copied().collect();
-            let filtered = self.filter_objs(existing, filter);
-            self.add_objects(to, filtered);
+        // A filtered self-edge stays in the graph (for edge-count
+        // parity) but can never contribute: filtering a set into itself
+        // adds nothing.
+        if from == to || self.pts[from.index()].is_empty() {
+            return;
         }
-    }
-
-    fn filter_objs(&self, objs: Vec<ObjId>, filter: Option<TypeId>) -> Vec<ObjId> {
-        match filter {
-            None => objs,
-            Some(ty) => objs
-                .into_iter()
-                .filter(|&o| self.program.is_subtype(self.objs.ty(o), ty))
-                .collect(),
+        if let Some(ty) = filter {
+            self.ensure_mask(ty);
         }
+        let (src, dst) = Self::two_sets(&mut self.pts, from.index(), to.index());
+        let delta = match filter {
+            None => src.union_into(dst),
+            Some(ty) => src.union_into_masked(&self.masks[&ty], dst),
+        };
+        self.queue_delta(to, delta);
     }
 
     // --- Delta processing --------------------------------------------------
 
-    fn process(&mut self, ptr: PtrId, delta: &[ObjId]) {
-        self.stats.propagated_objects += delta.len() as u64;
+    fn process(&mut self, ptr: PtrId, delta: &PtsSet<ObjId>) {
+        let i = ptr.index();
+        self.stats.delta_objects += delta.len() as u64;
+        // "Propagated" counts only deltas that actually flow somewhere:
+        // a pointer with no outgoing edges, loads, stores, or calls is a
+        // sink and its delta dies here.
+        if !self.succ[i].is_empty()
+            || !self.loads[i].is_empty()
+            || !self.stores[i].is_empty()
+            || !self.calls[i].is_empty()
+        {
+            self.stats.propagated_objects += delta.len() as u64;
+        }
 
-        // Propagate along copy edges.
-        let succ = self.succ[ptr.index()].clone();
-        for (to, filter) in succ {
-            let objs = self.filter_objs(delta.to_vec(), filter);
-            self.add_objects(to, objs);
+        // Rows are append-only; iterate a snapshot of the length. An
+        // entry appended mid-processing replays the full source set at
+        // add time, which already covers this delta.
+        let n_succ = self.succ[i].len();
+        for k in 0..n_succ {
+            let (to, filter) = self.succ[i][k];
+            if to == ptr {
+                continue; // filtered self-edge: never contributes
+            }
+            if let Some(ty) = filter {
+                self.ensure_mask(ty);
+            }
+            let dst = &mut self.pts[to.index()];
+            let d = match filter {
+                None => delta.union_into(dst),
+                Some(ty) => delta.union_into_masked(&self.masks[&ty], dst),
+            };
+            self.queue_delta(to, d);
         }
 
         // Field loads/stores and calls hang off variable pointers only.
-        let loads = self.loads[ptr.index()].clone();
-        for (field, lhs) in loads {
-            for &obj in delta {
+        let n_loads = self.loads[i].len();
+        for k in 0..n_loads {
+            let (field, lhs) = self.loads[i][k];
+            for obj in delta.iter() {
                 let fp = self.ptr(PtrKey::Field(obj, field));
                 self.add_edge(fp, lhs, None);
             }
         }
-        let stores = self.stores[ptr.index()].clone();
-        for (field, rhs) in stores {
-            for &obj in delta {
+        let n_stores = self.stores[i].len();
+        for k in 0..n_stores {
+            let (field, rhs) = self.stores[i][k];
+            for obj in delta.iter() {
                 let fp = self.ptr(PtrKey::Field(obj, field));
                 self.add_edge(rhs, fp, None);
             }
         }
-        let calls = self.calls[ptr.index()].clone();
-        for call in calls {
-            for &obj in delta {
+        let n_calls = self.calls[i].len();
+        for k in 0..n_calls {
+            let call = self.calls[i][k];
+            for obj in delta.iter() {
                 self.dispatch_call(call, obj);
             }
         }
@@ -436,7 +626,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 } else {
                     self.selector.heap_context(&mut self.arena, ctx, repr)
                 };
-                let obj = self.objs.intern(hctx, repr, self.program);
+                let obj = self.intern_obj(hctx, repr);
                 let lp = self.var_ptr(ctx, lhs);
                 self.add_objects(lp, [obj]);
             }
@@ -448,9 +638,11 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 let bp = self.var_ptr(ctx, base);
                 let lp = self.var_ptr(ctx, lhs);
                 self.loads[bp.index()].push((field, lp));
-                // Replay objects already known for the base.
-                let existing: Vec<ObjId> = self.pts[bp.index()].iter().copied().collect();
-                for obj in existing {
+                // Replay objects already known for the base. The clone
+                // is O(words); interning field pointers below may grow
+                // `self.pts`, so the base set cannot stay borrowed.
+                let existing = self.pts[bp.index()].clone();
+                for obj in existing.iter() {
                     let fp = self.ptr(PtrKey::Field(obj, field));
                     self.add_edge(fp, lp, None);
                 }
@@ -459,8 +651,8 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 let bp = self.var_ptr(ctx, base);
                 let rp = self.var_ptr(ctx, rhs);
                 self.stores[bp.index()].push((field, rp));
-                let existing: Vec<ObjId> = self.pts[bp.index()].iter().copied().collect();
-                for obj in existing {
+                let existing = self.pts[bp.index()].clone();
+                for obj in existing.iter() {
                     let fp = self.ptr(PtrKey::Field(obj, field));
                     self.add_edge(rp, fp, None);
                 }
@@ -526,8 +718,8 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             fixed_target,
         };
         self.calls[rp.index()].push(call);
-        let existing: Vec<ObjId> = self.pts[rp.index()].iter().copied().collect();
-        for obj in existing {
+        let existing = self.pts[rp.index()].clone();
+        for obj in existing.iter() {
             self.dispatch_call(call, obj);
         }
     }
@@ -611,7 +803,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
 /// given the same default budget as any other run).
 pub fn pre_analysis(program: &Program) -> Result<AnalysisResult, Unscalable> {
     let _phase = obs::span("pre_analysis");
-    Analysis::new(
+    AnalysisConfig::new(
         crate::context::ContextInsensitive,
         crate::heap::AllocSiteAbstraction,
     )

@@ -3,7 +3,7 @@
 //! paper Section 3.6.1.
 
 use pta::{
-    AllocSiteAbstraction, Analysis, CallSiteSensitive, CtxElem, MergedObjectMap, ObjectSensitive,
+    AllocSiteAbstraction, AnalysisConfig, CallSiteSensitive, CtxElem, MergedObjectMap, ObjectSensitive,
     TypeSensitive,
 };
 
@@ -35,7 +35,7 @@ fn chain_program() -> jir::Program {
 #[test]
 fn object_sensitive_contexts_are_alloc_site_suffixes() {
     let p = chain_program();
-    let r = Analysis::new(ObjectSensitive::new(3), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ObjectSensitive::new(3), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     // Every context element must be an allocation site; no context is
@@ -57,7 +57,7 @@ fn object_sensitive_contexts_are_alloc_site_suffixes() {
 #[test]
 fn call_site_sensitive_contexts_are_call_sites() {
     let p = chain_program();
-    let r = Analysis::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     for m in p.method_ids() {
@@ -74,7 +74,7 @@ fn call_site_sensitive_contexts_are_call_sites() {
 #[test]
 fn type_sensitive_contexts_are_classes() {
     let p = chain_program();
-    let r = Analysis::new(TypeSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(TypeSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let mut saw_type_elem = false;
@@ -93,7 +93,7 @@ fn type_sensitive_contexts_are_classes() {
 fn heap_contexts_are_one_shorter_than_method_contexts() {
     let p = chain_program();
     let k = 3;
-    let r = Analysis::new(ObjectSensitive::new(k), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ObjectSensitive::new(k), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     for obj in r.objects() {
@@ -119,10 +119,10 @@ fn merged_objects_are_context_insensitive_and_collapse_contexts() {
     repr[mk_sites[1].index()] = mk_sites[0];
     let mom = MergedObjectMap::new(repr);
 
-    let base = Analysis::new(ObjectSensitive::new(3), AllocSiteAbstraction)
+    let base = AnalysisConfig::new(ObjectSensitive::new(3), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
-    let merged = Analysis::new(ObjectSensitive::new(3), mom)
+    let merged = AnalysisConfig::new(ObjectSensitive::new(3), mom)
         .run(&p)
         .unwrap();
     assert!(
@@ -163,7 +163,7 @@ fn static_calls_inherit_context_under_kobj() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     // Helper::id inherits the caller's (receiver-object) context, so it
@@ -194,7 +194,7 @@ fn k1_call_site_matches_manual_expectation() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let a = p.class_by_name("A").unwrap();

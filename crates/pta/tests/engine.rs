@@ -2,9 +2,15 @@
 //! cast filtering, and context sensitivity.
 
 use pta::{
-    Analysis, AllocSiteAbstraction, AllocTypeAbstraction, CallSiteSensitive, ContextInsensitive,
-    ObjectSensitive, TypeSensitive,
+    AllocSiteAbstraction, AllocTypeAbstraction, AnalysisConfig, CallSiteSensitive,
+    ContextInsensitive, ObjectSensitive, TypeSensitive,
 };
+
+/// The single element of a one-object points-to set.
+fn only(pts: &pta::PtsSet<pta::ObjId>) -> pta::ObjId {
+    assert_eq!(pts.len(), 1);
+    pts.iter().next().unwrap()
+}
 
 fn figure1() -> jir::Program {
     // The paper's Figure 1.
@@ -42,7 +48,7 @@ fn var_named(p: &jir::Program, m: jir::MethodId, name: &str) -> jir::VarId {
 #[test]
 fn andersen_is_field_sensitive() {
     let p = figure1();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -50,14 +56,14 @@ fn andersen_is_field_sensitive() {
     let a = var_named(&p, main, "a");
     let pts = r.points_to_collapsed(a);
     assert_eq!(pts.len(), 1, "field-sensitive: a points to exactly o6");
-    let ty = r.obj_type(pts[0]);
+    let ty = r.obj_type(only(&pts));
     assert_eq!(p.type_name(ty), "C");
 }
 
 #[test]
 fn alloc_type_abstraction_conflates() {
     let p = figure1();
-    let r = Analysis::new(ContextInsensitive, AllocTypeAbstraction::new(&p))
+    let r = AnalysisConfig::new(ContextInsensitive, AllocTypeAbstraction::new(&p))
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -65,7 +71,7 @@ fn alloc_type_abstraction_conflates() {
     // a = z.f sees both the B and the C stored values.
     let a = var_named(&p, main, "a");
     let pts = r.points_to_collapsed(a);
-    let mut tys: Vec<String> = pts.iter().map(|&o| p.type_name(r.obj_type(o))).collect();
+    let mut tys: Vec<String> = pts.iter().map(|o| p.type_name(r.obj_type(o))).collect();
     tys.sort();
     assert_eq!(tys, ["B", "C"], "allocation-type abstraction loses precision");
 }
@@ -73,7 +79,7 @@ fn alloc_type_abstraction_conflates() {
 #[test]
 fn virtual_dispatch_targets_runtime_class() {
     let p = figure1();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     // `virt a.foo()` must dispatch to C::foo only.
@@ -103,7 +109,7 @@ fn cast_filters_incompatible_objects() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -112,7 +118,7 @@ fn cast_filters_incompatible_objects() {
     assert_eq!(r.points_to_collapsed(x).len(), 2);
     let y_pts = r.points_to_collapsed(y);
     assert_eq!(y_pts.len(), 1, "cast lets only the B object through");
-    assert_eq!(p.type_name(r.obj_type(y_pts[0])), "B");
+    assert_eq!(p.type_name(r.obj_type(only(&y_pts))), "B");
 }
 
 /// The classic context-sensitivity litmus test: an identity method called
@@ -141,7 +147,7 @@ fn identity_program() -> jir::Program {
 #[test]
 fn context_insensitive_conflates_identity() {
     let p = identity_program();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -152,7 +158,7 @@ fn context_insensitive_conflates_identity() {
 #[test]
 fn call_site_sensitivity_distinguishes_identity() {
     let p = identity_program();
-    let r = Analysis::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -188,7 +194,7 @@ fn container_program() -> jir::Program {
 #[test]
 fn object_sensitivity_separates_receivers() {
     let p = container_program();
-    let r = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -198,14 +204,14 @@ fn object_sensitivity_separates_receivers() {
     let g2p = r.points_to_collapsed(g2);
     assert_eq!(g1p.len(), 1, "2obj: b1.get() sees only p");
     assert_eq!(g2p.len(), 1, "2obj: b2.get() sees only q");
-    assert_eq!(p.type_name(r.obj_type(g1p[0])), "P");
-    assert_eq!(p.type_name(r.obj_type(g2p[0])), "Q");
+    assert_eq!(p.type_name(r.obj_type(only(&g1p))), "P");
+    assert_eq!(p.type_name(r.obj_type(only(&g2p))), "Q");
 }
 
 #[test]
 fn context_insensitive_conflates_receivers() {
     let p = container_program();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -238,7 +244,7 @@ fn type_sensitivity_separates_by_containing_class() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(TypeSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(TypeSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -249,7 +255,7 @@ fn type_sensitivity_separates_by_containing_class() {
         1,
         "2type separates Box objects allocated in different classes"
     );
-    assert_eq!(p.type_name(r.obj_type(g1p[0])), "P");
+    assert_eq!(p.type_name(r.obj_type(only(&g1p))), "P");
 }
 
 #[test]
@@ -267,7 +273,7 @@ fn static_fields_are_global() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -290,14 +296,13 @@ fn arrays_flow_through_element_field() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
     let w = var_named(&p, main, "w");
     let pts = r.points_to_collapsed(w);
-    assert_eq!(pts.len(), 1);
-    assert_eq!(p.type_name(r.obj_type(pts[0])), "P");
+    assert_eq!(p.type_name(r.obj_type(only(&pts))), "P");
 }
 
 #[test]
@@ -309,7 +314,7 @@ fn unreachable_methods_contribute_nothing() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     assert_eq!(r.object_count(), 1, "dead allocation never materializes");
@@ -337,7 +342,7 @@ fn recursion_terminates_with_context() {
     )
     .unwrap();
     for k in 1..=3 {
-        let r = Analysis::new(ObjectSensitive::new(k), AllocSiteAbstraction)
+        let r = AnalysisConfig::new(ObjectSensitive::new(k), AllocSiteAbstraction)
             .run(&p)
             .unwrap();
         assert!(r.reachable_method_count() >= 2, "k={k}");
@@ -362,7 +367,7 @@ fn special_calls_bind_this_to_receiver() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let main = p.entry();
@@ -386,7 +391,7 @@ fn interface_dispatch_resolves_to_implementations() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let site = p

@@ -7,7 +7,7 @@
 use std::collections::BTreeSet;
 
 use pta::{
-    naive::solve_naive, AllocSiteAbstraction, AllocTypeAbstraction, Analysis, AnalysisResult,
+    naive::solve_naive, AllocSiteAbstraction, AllocTypeAbstraction, AnalysisConfig, AnalysisResult,
     CallSiteSensitive, ContextInsensitive, ContextSelector, HeapAbstraction, ObjectSensitive,
     TypeSensitive,
 };
@@ -26,7 +26,7 @@ fn check<S: ContextSelector + Clone, H: HeapAbstraction + Clone>(
     selector: S,
     heap: H,
 ) {
-    let fast = Analysis::new(selector.clone(), heap.clone())
+    let fast = AnalysisConfig::new(selector.clone(), heap.clone())
         .run(program)
         .expect("fits budget");
     let slow = solve_naive(program, &selector, &heap);

@@ -2,7 +2,7 @@
 //! queries, field and static points-to, statistics, and call-graph
 //! accessors.
 
-use pta::{AllocSiteAbstraction, Analysis, CallSiteSensitive, ContextInsensitive};
+use pta::{AllocSiteAbstraction, AnalysisConfig, CallSiteSensitive, ContextInsensitive};
 
 fn program() -> jir::Program {
     jir::parse(
@@ -35,29 +35,31 @@ fn var(p: &jir::Program, name: &str) -> jir::VarId {
 #[test]
 fn field_and_static_points_to_are_queryable() {
     let p = program();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
 
     // The Box object's val field points to the P object.
     let b_objs = r.points_to_collapsed(var(&p, "b"));
     assert_eq!(b_objs.len(), 1);
+    let b_obj = b_objs.iter().next().unwrap();
     let cls = p.class_by_name("Box").unwrap();
     let val = p.field_by_name(cls, "val").unwrap();
-    let field_pts = r.field_points_to(b_objs[0], val);
+    let field_pts = r.field_points_to(b_obj, val);
     assert_eq!(field_pts.len(), 1);
-    assert_eq!(p.type_name(r.obj_type(field_pts[0])), "P");
+    let p_obj = field_pts.iter().next().unwrap();
+    assert_eq!(p.type_name(r.obj_type(p_obj)), "P");
 
     // The static field points to the same P object.
     let g = p.class_by_name("G").unwrap();
     let root = p.field_by_name(g, "root").unwrap();
     assert_eq!(r.static_points_to(root), field_pts);
 
-    // field_pointers() enumerates the val fact.
+    // field_pointers() enumerates the val fact (sets are borrowed).
     let facts: Vec<_> = r.field_pointers().collect();
     assert!(facts
         .iter()
-        .any(|(obj, f, pts)| *obj == b_objs[0] && *f == val && !pts.is_empty()));
+        .any(|&(obj, f, pts)| obj == b_obj && f == val && !pts.is_empty()));
 }
 
 #[test]
@@ -75,7 +77,7 @@ fn per_context_points_to_differs_from_collapsed() {
          }",
     )
     .unwrap();
-    let r = Analysis::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let a = p.class_by_name("A").unwrap();
@@ -93,7 +95,7 @@ fn per_context_points_to_differs_from_collapsed() {
 #[test]
 fn stats_track_the_fixpoint() {
     let p = program();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let s = r.stats();
@@ -110,7 +112,7 @@ fn stats_track_the_fixpoint() {
 #[test]
 fn call_targets_and_edges_agree() {
     let p = program();
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let edges: Vec<_> = r.call_graph_edges().collect();

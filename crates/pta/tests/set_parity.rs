@@ -1,0 +1,195 @@
+//! Parity with the pre-redesign solver.
+//!
+//! The hybrid-set rewrite (difference propagation over `PtsSet` deltas,
+//! per-type masks, coalesced pending worklist) must not change any
+//! analysis *result* — only how fast it is computed. This test pins
+//! that down two ways:
+//!
+//! 1. **Golden fingerprints.** Before the set swap, the `FastSet`-based
+//!    solver's results on every corpus program × sensitivity were
+//!    hashed with a canonical, interning-order-independent fingerprint
+//!    (per-variable collapsed object sets described by allocation site
+//!    + heap-context element chain, plus the call graph). The rewritten
+//!    solver must reproduce every hash bit-for-bit, along with the
+//!    invariant summary statistics.
+//! 2. **Naive cross-check.** On the small corpus programs the results
+//!    are additionally compared against the round-based reference
+//!    solver (`pta::naive`), which shares no set or worklist code with
+//!    the production solver.
+//!
+//! The fingerprint canonicalizes object identity because the coalesced
+//! worklist legitimately changes *interning order* (raw `ObjId`/`CtxId`
+//! indices) without changing which objects exist.
+
+use std::collections::BTreeSet;
+
+use pta::{
+    naive::solve_naive, AllocSiteAbstraction, AnalysisConfig, AnalysisResult, CallSiteSensitive,
+    ContextInsensitive, ContextSelector, CtxElem, HeapAbstraction, ObjectSensitive,
+};
+
+/// A canonical, interning-order-independent description of one abstract
+/// object: its allocation site plus the heap context's element chain.
+fn canon_obj(r: &AnalysisResult, o: pta::ObjId) -> Vec<u64> {
+    let mut out = vec![r.obj_alloc(o).index() as u64];
+    for e in r.contexts().elems(r.obj_heap_context(o)) {
+        out.push(match *e {
+            CtxElem::CallSite(s) => 1 << 32 | s.index() as u64,
+            CtxElem::Alloc(a) => 2 << 32 | a.index() as u64,
+            CtxElem::Type(c) => 3 << 32 | c.index() as u64,
+        });
+    }
+    out
+}
+
+/// Canonical fingerprint of a result: FNV-mixed per-variable collapsed
+/// canonical object sets plus sorted call-graph edges, and the
+/// interning-order-invariant summary statistics.
+fn fingerprint(p: &jir::Program, r: &AnalysisResult) -> (u64, usize, usize, usize, usize) {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for v in (0..p.var_count()).map(jir::VarId::from_usize) {
+        let mut objs: Vec<Vec<u64>> = r
+            .points_to_collapsed(v)
+            .iter()
+            .map(|o| canon_obj(r, o))
+            .collect();
+        objs.sort_unstable();
+        objs.dedup();
+        mix(v.index() as u64 ^ 0xdead);
+        for desc in objs {
+            for w in desc {
+                mix(w);
+            }
+            mix(0xfeed);
+        }
+    }
+    let mut edges: Vec<(usize, usize)> = r
+        .call_graph_edges()
+        .map(|(s, m)| (s.index(), m.index()))
+        .collect();
+    edges.sort_unstable();
+    for (s, m) in edges {
+        mix(((s as u64) << 32) | m as u64);
+    }
+    (
+        h,
+        r.total_points_to_size() as usize,
+        r.pointer_count(),
+        r.object_count(),
+        r.call_graph_edge_count(),
+    )
+}
+
+/// Goldens captured from the pre-redesign (`FastSet` + per-object
+/// worklist) solver: `(program, analysis, hash, total_pts_size,
+/// pointer_count, object_count, cg_edge_count)`.
+const GOLDENS: &[(&str, &str, u64, usize, usize, usize, usize)] = &[
+    ("figure1", "ci", 0x945cefd21f771be2, 12, 12, 6, 1),
+    ("figure1", "2cs", 0x945cefd21f771be2, 12, 12, 6, 1),
+    ("figure1", "2obj", 0x945cefd21f771be2, 12, 12, 6, 1),
+    ("containers", "ci", 0x4d6a63b8ecd39b17, 13, 13, 6, 0),
+    ("containers", "2cs", 0x4d6a63b8ecd39b17, 13, 13, 6, 0),
+    ("containers", "2obj", 0x4d6a63b8ecd39b17, 13, 13, 6, 0),
+    ("decorator", "ci", 0x3e701153555b28b8, 15, 15, 4, 3),
+    ("decorator", "2cs", 0xdb8d32730bb82782, 15, 15, 4, 3),
+    ("decorator", "2obj", 0x79afa4e9c9c545b9, 15, 15, 4, 3),
+    ("luindex", "ci", 0x59d33beb08e25e4e, 3056, 768, 189, 475),
+    ("luindex", "2cs", 0xdc155404ef4883a9, 27077, 5424, 764, 475),
+    ("luindex", "2obj", 0x74a049d18e3237ad, 5791, 3885, 539, 475),
+    ("pmd", "ci", 0x2b92f41fd2f20572, 35467, 4609, 859, 3558),
+    ("pmd", "2cs", 0xa3e70fb61a8b734c, 3042288, 54520, 7102, 3558),
+    ("pmd", "2obj", 0xbfdb3f26f2888b80, 83955, 33086, 3325, 3558),
+];
+
+fn load(name: &str) -> jir::Program {
+    match name {
+        "figure1" | "containers" | "decorator" => {
+            let path = format!("{}/../../corpus/{name}.jir", env!("CARGO_MANIFEST_DIR"));
+            jir::parse(&std::fs::read_to_string(&path).expect("corpus file")).expect("parses")
+        }
+        other => workloads::dacapo::workload(other, 1).program,
+    }
+}
+
+fn run(p: &jir::Program, analysis: &str) -> AnalysisResult {
+    match analysis {
+        "ci" => AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
+            .run(p)
+            .unwrap(),
+        "2cs" => AnalysisConfig::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+            .run(p)
+            .unwrap(),
+        "2obj" => AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+            .run(p)
+            .unwrap(),
+        other => panic!("unknown analysis {other}"),
+    }
+}
+
+#[test]
+fn results_match_pre_redesign_goldens() {
+    for &(name, analysis, hash, pts_size, pointers, objects, cg_edges) in GOLDENS {
+        let p = load(name);
+        let r = run(&p, analysis);
+        let got = fingerprint(&p, &r);
+        assert_eq!(
+            got,
+            (hash, pts_size, pointers, objects, cg_edges),
+            "{name}/{analysis}: result diverged from the pre-redesign solver"
+        );
+    }
+}
+
+fn collapsed_allocs(r: &AnalysisResult, v: jir::VarId) -> BTreeSet<jir::AllocId> {
+    r.points_to_collapsed(v)
+        .iter()
+        .map(|o| r.obj_alloc(o))
+        .collect()
+}
+
+fn cross_check<S: ContextSelector + Clone, H: HeapAbstraction + Clone>(
+    label: &str,
+    p: &jir::Program,
+    selector: S,
+    heap: H,
+) {
+    let fast = AnalysisConfig::new(selector.clone(), heap.clone())
+        .run(p)
+        .expect("fits budget");
+    let slow = solve_naive(p, &selector, &heap);
+    for v in (0..p.var_count()).map(jir::VarId::from_usize) {
+        assert_eq!(
+            collapsed_allocs(&fast, v),
+            slow.var_points_to_allocs(v),
+            "{label}: points-to of {}",
+            p.var(v).name()
+        );
+    }
+    let fast_edges: BTreeSet<(jir::CallSiteId, jir::MethodId)> =
+        fast.call_graph_edges().collect();
+    assert_eq!(fast_edges, slow.call_edges, "{label}: call graph");
+}
+
+#[test]
+fn corpus_results_match_naive_reference() {
+    for name in ["figure1", "containers", "decorator"] {
+        let p = load(name);
+        cross_check(&format!("{name}/ci"), &p, ContextInsensitive, AllocSiteAbstraction);
+        cross_check(
+            &format!("{name}/2cs"),
+            &p,
+            CallSiteSensitive::new(2),
+            AllocSiteAbstraction,
+        );
+        cross_check(
+            &format!("{name}/2obj"),
+            &p,
+            ObjectSensitive::new(2),
+            AllocSiteAbstraction,
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Randomized property tests for `PtsSet` against a `BTreeSet` oracle.
+//!
+//! Driven by the in-tree SplitMix64 PRNG (`obs::rng`) so runs are
+//! deterministic and reproducible from the printed seed. Each trial
+//! mirrors a random operation sequence onto both a `PtsSet<u32>` and a
+//! `BTreeSet<u32>` and asserts they agree on membership, cardinality,
+//! iteration order, union deltas, masked unions, and intersection —
+//! deliberately crossing the small→dense promotion boundary.
+
+use obs::rng::SplitMix64;
+use pts::{PtsSet, SMALL_MAX};
+use std::collections::BTreeSet;
+
+/// Universe large enough to exercise multi-word bitmaps, small enough
+/// for collisions (re-inserts, overlapping unions) to be common.
+const UNIVERSE: u64 = 700;
+
+fn assert_matches(set: &PtsSet<u32>, oracle: &BTreeSet<u32>, ctx: &str) {
+    assert_eq!(set.len(), oracle.len(), "len mismatch: {ctx}");
+    assert_eq!(set.is_empty(), oracle.is_empty(), "is_empty mismatch: {ctx}");
+    // Iteration must be ascending and exactly the oracle's contents.
+    let got: Vec<u32> = set.iter().collect();
+    let want: Vec<u32> = oracle.iter().copied().collect();
+    assert_eq!(got, want, "iter/order mismatch: {ctx}");
+    assert_eq!(set.to_vec(), want, "to_vec mismatch: {ctx}");
+}
+
+fn random_set(rng: &mut SplitMix64, max_len: u64) -> (PtsSet<u32>, BTreeSet<u32>) {
+    let n = rng.below(max_len);
+    let mut set = PtsSet::new();
+    let mut oracle = BTreeSet::new();
+    for _ in 0..n {
+        let v = rng.below(UNIVERSE) as u32;
+        assert_eq!(set.insert(v), oracle.insert(v), "insert return value");
+    }
+    (set, oracle)
+}
+
+#[test]
+fn insert_contains_iter_match_oracle() {
+    let mut rng = SplitMix64::new(0x9e3779b97f4a7c15);
+    for trial in 0..200 {
+        let (set, oracle) = random_set(&mut rng, 3 * SMALL_MAX as u64);
+        assert_matches(&set, &oracle, &format!("trial {trial}"));
+        for _ in 0..32 {
+            let probe = rng.below(UNIVERSE) as u32;
+            assert_eq!(
+                set.contains(probe),
+                oracle.contains(&probe),
+                "contains({probe}) mismatch, trial {trial}"
+            );
+        }
+    }
+}
+
+#[test]
+fn union_into_delta_matches_oracle() {
+    let mut rng = SplitMix64::new(0xdeadbeefcafef00d);
+    for trial in 0..200 {
+        let (src, src_o) = random_set(&mut rng, 4 * SMALL_MAX as u64);
+        let (mut dst, mut dst_o) = random_set(&mut rng, 4 * SMALL_MAX as u64);
+
+        let delta = src.union_into(&mut dst);
+        let delta_o: BTreeSet<u32> = src_o.difference(&dst_o).copied().collect();
+        dst_o.extend(src_o.iter().copied());
+
+        assert_matches(&delta, &delta_o, &format!("delta, trial {trial}"));
+        assert_matches(&dst, &dst_o, &format!("union target, trial {trial}"));
+        // Unioning again must be quiescent: empty delta, unchanged target.
+        assert!(src.union_into(&mut dst).is_empty(), "requiescence, trial {trial}");
+        assert_matches(&dst, &dst_o, &format!("post-requiescence, trial {trial}"));
+    }
+}
+
+#[test]
+fn masked_union_matches_oracle() {
+    let mut rng = SplitMix64::new(0x1234567812345678);
+    for trial in 0..200 {
+        let (src, src_o) = random_set(&mut rng, 4 * SMALL_MAX as u64);
+        let (mask, mask_o) = random_set(&mut rng, 6 * SMALL_MAX as u64);
+        let (mut dst, mut dst_o) = random_set(&mut rng, 2 * SMALL_MAX as u64);
+
+        let delta = src.union_into_masked(&mask, &mut dst);
+        let masked: BTreeSet<u32> = src_o.intersection(&mask_o).copied().collect();
+        let delta_o: BTreeSet<u32> = masked.difference(&dst_o).copied().collect();
+        dst_o.extend(masked.iter().copied());
+
+        assert_matches(&delta, &delta_o, &format!("masked delta, trial {trial}"));
+        assert_matches(&dst, &dst_o, &format!("masked target, trial {trial}"));
+    }
+}
+
+#[test]
+fn intersects_matches_oracle() {
+    let mut rng = SplitMix64::new(0x0123456789abcdef);
+    for trial in 0..300 {
+        let (a, a_o) = random_set(&mut rng, 4 * SMALL_MAX as u64);
+        let (b, b_o) = random_set(&mut rng, 4 * SMALL_MAX as u64);
+        let want = !a_o.is_disjoint(&b_o);
+        assert_eq!(a.intersects(&b), want, "a∩b, trial {trial}");
+        assert_eq!(b.intersects(&a), want, "b∩a (symmetry), trial {trial}");
+    }
+}
+
+#[test]
+fn equality_is_representation_independent() {
+    let mut rng = SplitMix64::new(0xfeedface00000001);
+    for trial in 0..100 {
+        let (set, oracle) = random_set(&mut rng, 3 * SMALL_MAX as u64);
+        // Rebuild through a forced-dense detour: over-fill, then compare
+        // a straight FromIterator rebuild against the original.
+        let rebuilt: PtsSet<u32> = oracle.iter().copied().collect();
+        assert_eq!(set, rebuilt, "rebuild equality, trial {trial}");
+        let mut detour: PtsSet<u32> = (0u32..(SMALL_MAX as u32 + 8)).collect();
+        detour.clear();
+        for &v in &oracle {
+            detour.insert(v);
+        }
+        // `detour` went through a dense promotion; contents decide.
+        assert_eq!(detour.to_vec(), set.to_vec(), "dense detour, trial {trial}");
+    }
+}
+
+#[test]
+fn union_with_matches_extend() {
+    let mut rng = SplitMix64::new(0xabcdef0123456789);
+    for trial in 0..100 {
+        let (a, a_o) = random_set(&mut rng, 5 * SMALL_MAX as u64);
+        let (mut b, b_o) = random_set(&mut rng, 5 * SMALL_MAX as u64);
+        b.union_with(&a);
+        let union_o: BTreeSet<u32> = a_o.union(&b_o).copied().collect();
+        assert_matches(&b, &union_o, &format!("union_with, trial {trial}"));
+    }
+}

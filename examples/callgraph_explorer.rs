@@ -9,7 +9,7 @@
 
 use clients::{devirtualization, CallGraph};
 use mahjong::{build_heap_abstraction, MahjongConfig};
-use pta::{Analysis, ObjectSensitive};
+use pta::{AnalysisConfig, ObjectSensitive};
 
 const SAMPLE: &str = "
 class Event {
@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let pre = pta::pre_analysis(&program)?;
     let out = build_heap_abstraction(&program, &pre, &MahjongConfig::default());
-    let result = Analysis::new(ObjectSensitive::new(2), out.mom).run(&program)?;
+    let result = AnalysisConfig::new(ObjectSensitive::new(2), out.mom).run(&program)?;
 
     let cg = CallGraph::from_result(&result);
     let devirt = devirtualization(&program, &result);

@@ -8,7 +8,7 @@
 
 use clients::devirtualization;
 use jir::ProgramBuilder;
-use pta::{AllocSiteAbstraction, Analysis, ObjectSensitive};
+use pta::{AllocSiteAbstraction, AnalysisConfig, ObjectSensitive};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut b = ProgramBuilder::new();
@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let program = b.finish()?;
 
-    let result = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction).run(&program)?;
+    let result = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction).run(&program)?;
     let devirt = devirtualization(&program, &result);
 
     println!("resolved virtual call sites: {}", devirt.resolved_sites);
@@ -67,8 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &site in &devirt.poly_sites {
         let names: Vec<String> = result
             .call_targets(site)
-            .into_iter()
-            .map(|t| {
+            .iter()
+            .map(|&t| {
                 let m = program.method(t);
                 format!("{}::{}", program.class(m.class()).name(), m.name())
             })

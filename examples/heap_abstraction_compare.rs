@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use clients::ClientMetrics;
 use mahjong::{build_heap_abstraction, MahjongConfig};
-use pta::{AllocSiteAbstraction, AllocTypeAbstraction, Analysis, Budget, ObjectSensitive};
+use pta::{AllocSiteAbstraction, AllocTypeAbstraction, AnalysisConfig, Budget, ObjectSensitive};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "pmd".to_owned());
@@ -59,24 +59,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = Instant::now();
     report(
         "2obj (alloc-site)",
-        Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
-            .with_budget(budget)
+        AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+            .budget(budget)
             .run(program),
         t,
     );
     let t = Instant::now();
     report(
         "T-2obj (alloc-type)",
-        Analysis::new(ObjectSensitive::new(2), AllocTypeAbstraction::new(program))
-            .with_budget(budget)
+        AnalysisConfig::new(ObjectSensitive::new(2), AllocTypeAbstraction::new(program))
+            .budget(budget)
             .run(program),
         t,
     );
     let t = Instant::now();
     report(
         "M-2obj (mahjong)",
-        Analysis::new(ObjectSensitive::new(2), out.mom.clone())
-            .with_budget(budget)
+        AnalysisConfig::new(ObjectSensitive::new(2), out.mom.clone())
+            .budget(budget)
             .run(program),
         t,
     );

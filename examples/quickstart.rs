@@ -12,7 +12,7 @@
 
 use clients::ClientMetrics;
 use mahjong::{build_heap_abstraction, MahjongConfig};
-use pta::{AllocSiteAbstraction, Analysis, ObjectSensitive};
+use pta::{AllocSiteAbstraction, AnalysisConfig, ObjectSensitive};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Figure 1: three A objects whose `f` fields hold a B
@@ -57,8 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. The downstream analysis, with and without Mahjong.
-    let base = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction).run(&program)?;
-    let with_mahjong = Analysis::new(ObjectSensitive::new(2), out.mom).run(&program)?;
+    let base = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction).run(&program)?;
+    let with_mahjong = AnalysisConfig::new(ObjectSensitive::new(2), out.mom).run(&program)?;
 
     let bm = ClientMetrics::compute(&program, &base);
     let mm = ClientMetrics::compute(&program, &with_mahjong);

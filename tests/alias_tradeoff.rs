@@ -8,7 +8,7 @@
 use clients::alias::program_alias_stats;
 use clients::ClientMetrics;
 use mahjong::{build_heap_abstraction, MahjongConfig};
-use pta::{AllocSiteAbstraction, Analysis, ObjectSensitive};
+use pta::{AllocSiteAbstraction, AnalysisConfig, ObjectSensitive};
 
 #[test]
 fn mahjong_trades_alias_precision_for_speed_not_type_precision() {
@@ -44,10 +44,10 @@ fn mahjong_trades_alias_precision_for_speed_not_type_precision() {
         "the two Sb containers merge"
     );
 
-    let base = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+    let base = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
-    let merged = Analysis::new(ObjectSensitive::new(2), out.mom)
+    let merged = AnalysisConfig::new(ObjectSensitive::new(2), out.mom)
         .run(&p)
         .unwrap();
 
@@ -80,10 +80,10 @@ fn alias_regression_is_substantial_on_workloads() {
     let pre = pta::pre_analysis(p).unwrap();
     let out = build_heap_abstraction(p, &pre, &MahjongConfig::default());
 
-    let base = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+    let base = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
         .run(p)
         .unwrap();
-    let merged = Analysis::new(ObjectSensitive::new(2), out.mom)
+    let merged = AnalysisConfig::new(ObjectSensitive::new(2), out.mom)
         .run(p)
         .unwrap();
 

@@ -3,7 +3,7 @@
 
 use clients::ClientMetrics;
 use mahjong::{build_heap_abstraction, MahjongConfig};
-use pta::{Analysis, ContextInsensitive};
+use pta::{AnalysisConfig, ContextInsensitive};
 
 fn load(name: &str) -> jir::Program {
     let path = format!("{}/../../corpus/{name}.jir", env!("CARGO_MANIFEST_DIR"));
@@ -18,7 +18,7 @@ fn figure1_corpus_file_matches_the_paper() {
     let out = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
     assert_eq!(out.stats.objects, 6);
     assert_eq!(out.stats.merged_objects, 4);
-    let r = Analysis::new(ContextInsensitive, out.mom).run(&p).unwrap();
+    let r = AnalysisConfig::new(ContextInsensitive, out.mom).run(&p).unwrap();
     let m = ClientMetrics::compute(&p, &r);
     assert_eq!(m.poly_call_sites, 0);
     assert_eq!(m.may_fail_casts, 0);
@@ -29,7 +29,7 @@ fn decorator_corpus_file_merges_nothing_unsound() {
     let p = load("decorator");
     let pre = pta::pre_analysis(&p).unwrap();
     let out = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
-    let r = Analysis::new(ContextInsensitive, out.mom).run(&p).unwrap();
+    let r = AnalysisConfig::new(ContextInsensitive, out.mom).run(&p).unwrap();
     assert_eq!(
         ClientMetrics::compute(&p, &r).may_fail_casts,
         0,
@@ -51,6 +51,6 @@ fn containers_corpus_file_splits_by_contents() {
         .map(|c| c.len())
         .collect();
     assert_eq!(cell_sizes, vec![2, 1]);
-    let r = Analysis::new(ContextInsensitive, out.mom).run(&p).unwrap();
+    let r = AnalysisConfig::new(ContextInsensitive, out.mom).run(&p).unwrap();
     assert_eq!(ClientMetrics::compute(&p, &r).may_fail_casts, 0);
 }

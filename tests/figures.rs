@@ -4,7 +4,7 @@
 use clients::ClientMetrics;
 use mahjong::{build_heap_abstraction, MahjongConfig, Representative};
 use pta::{
-    AllocSiteAbstraction, AllocTypeAbstraction, Analysis, CallSiteSensitive, ContextInsensitive,
+    AllocSiteAbstraction, AllocTypeAbstraction, AnalysisConfig, CallSiteSensitive, ContextInsensitive,
     TypeSensitive,
 };
 
@@ -22,14 +22,14 @@ fn var_named(p: &jir::Program, name: &str) -> jir::VarId {
 fn figure1_alloc_site_vs_alloc_type() {
     let p = workloads::figures::figure1();
 
-    let site = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let site = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let m = ClientMetrics::compute(&p, &site);
     assert_eq!(m.poly_call_sites, 0, "a.foo() devirtualizes");
     assert_eq!(m.may_fail_casts, 0, "(C) a is safe");
 
-    let ty = Analysis::new(ContextInsensitive, AllocTypeAbstraction::new(&p))
+    let ty = AnalysisConfig::new(ContextInsensitive, AllocTypeAbstraction::new(&p))
         .run(&p)
         .unwrap();
     let m = ClientMetrics::compute(&p, &ty);
@@ -66,7 +66,7 @@ fn figure1_mahjong_preserves_precision() {
     let p = workloads::figures::figure1();
     let pre = pta::pre_analysis(&p).unwrap();
     let out = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
-    let r = Analysis::new(ContextInsensitive, out.mom).run(&p).unwrap();
+    let r = AnalysisConfig::new(ContextInsensitive, out.mom).run(&p).unwrap();
     let m = ClientMetrics::compute(&p, &r);
     assert_eq!(m.poly_call_sites, 0);
     assert_eq!(m.may_fail_casts, 0);
@@ -75,7 +75,7 @@ fn figure1_mahjong_preserves_precision() {
     let a = var_named(&p, "a");
     let pts = r.points_to_collapsed(a);
     assert!(!pts.is_empty());
-    for o in pts {
+    for o in &pts {
         assert_eq!(p.type_name(r.obj_type(o)), "C");
     }
 }
@@ -89,14 +89,14 @@ fn figure3_condition2_is_necessary() {
     let pre = pta::pre_analysis(&p).unwrap();
 
     // Baseline: 1cs proves both casts safe.
-    let base = Analysis::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
+    let base = AnalysisConfig::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     assert_eq!(ClientMetrics::compute(&p, &base).may_fail_casts, 0);
 
     // With Condition 2 (default): ti/tj not merged, no precision loss.
     let strict = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
-    let r = Analysis::new(CallSiteSensitive::new(1), strict.mom.clone())
+    let r = AnalysisConfig::new(CallSiteSensitive::new(1), strict.mom.clone())
         .run(&p)
         .unwrap();
     assert_eq!(ClientMetrics::compute(&p, &r).may_fail_casts, 0);
@@ -111,7 +111,7 @@ fn figure3_condition2_is_necessary() {
         loose.stats.merged_objects < strict.stats.merged_objects,
         "dropping Condition 2 merges more"
     );
-    let r = Analysis::new(CallSiteSensitive::new(1), loose.mom)
+    let r = AnalysisConfig::new(CallSiteSensitive::new(1), loose.mom)
         .run(&p)
         .unwrap();
     assert!(
@@ -129,7 +129,7 @@ fn figure6_null_field_problem() {
     let p = workloads::figures::figure6();
     let pre = pta::pre_analysis(&p).unwrap();
 
-    let base = Analysis::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
+    let base = AnalysisConfig::new(CallSiteSensitive::new(1), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     assert_eq!(
@@ -139,7 +139,7 @@ fn figure6_null_field_problem() {
     );
 
     let out = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
-    let r = Analysis::new(CallSiteSensitive::new(1), out.mom)
+    let r = AnalysisConfig::new(CallSiteSensitive::new(1), out.mom)
         .run(&p)
         .unwrap();
     assert_eq!(
@@ -161,7 +161,7 @@ fn figure7_representative_choice() {
 
     // Plain 2type: sites 1 and 2 are both in class T — contexts merge,
     // payloads P1/P2 mix, both casts may fail.
-    let base = Analysis::new(TypeSensitive::new(2), AllocSiteAbstraction)
+    let base = AnalysisConfig::new(TypeSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let base_fails = ClientMetrics::compute(&p, &base).may_fail_casts;
@@ -179,7 +179,7 @@ fn figure7_representative_choice() {
         out.mom.classes().iter().any(|c| c.len() == 2),
         "sites 1 and 3 are type-consistent"
     );
-    let r = Analysis::new(TypeSensitive::new(2), out.mom)
+    let r = AnalysisConfig::new(TypeSensitive::new(2), out.mom)
         .run(&p)
         .unwrap();
     let largest_fails = ClientMetrics::compute(&p, &r).may_fail_casts;
@@ -192,7 +192,7 @@ fn figure7_representative_choice() {
     // context T — no better than 2type.
     let cfg = MahjongConfig::default();
     let out = build_heap_abstraction(&p, &pre, &cfg);
-    let r = Analysis::new(TypeSensitive::new(2), out.mom)
+    let r = AnalysisConfig::new(TypeSensitive::new(2), out.mom)
         .run(&p)
         .unwrap();
     let smallest_fails = ClientMetrics::compute(&p, &r).may_fail_casts;

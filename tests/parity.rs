@@ -6,7 +6,7 @@
 use clients::ClientMetrics;
 use mahjong::{build_heap_abstraction, MahjongConfig};
 use pta::{
-    AllocSiteAbstraction, AllocTypeAbstraction, Analysis, Budget, CallSiteSensitive,
+    AllocSiteAbstraction, AllocTypeAbstraction, AnalysisConfig, Budget, CallSiteSensitive,
     HeapAbstraction, MergedObjectMap, ObjectSensitive, TypeSensitive, Unscalable,
 };
 
@@ -24,14 +24,14 @@ fn metrics<H: HeapAbstraction>(
 ) -> Result<ClientMetrics, Unscalable> {
     let budget = Budget::seconds(120);
     let r = match s {
-        Sens::Cs(k) => Analysis::new(CallSiteSensitive::new(k), heap)
-            .with_budget(budget)
+        Sens::Cs(k) => AnalysisConfig::new(CallSiteSensitive::new(k), heap)
+            .budget(budget)
             .run(p)?,
-        Sens::Obj(k) => Analysis::new(ObjectSensitive::new(k), heap)
-            .with_budget(budget)
+        Sens::Obj(k) => AnalysisConfig::new(ObjectSensitive::new(k), heap)
+            .budget(budget)
             .run(p)?,
-        Sens::Type(k) => Analysis::new(TypeSensitive::new(k), heap)
-            .with_budget(budget)
+        Sens::Type(k) => AnalysisConfig::new(TypeSensitive::new(k), heap)
+            .budget(budget)
             .run(p)?,
     };
     Ok(ClientMetrics::compute(p, &r))
@@ -102,12 +102,12 @@ fn alloc_type_is_less_precise() {
 fn mahjong_call_graph_is_sound_superset() {
     let (p, mom) = pipeline("antlr");
     let budget = Budget::seconds(120);
-    let base = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
-        .with_budget(budget)
+    let base = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+        .budget(budget)
         .run(&p)
         .unwrap();
-    let with_m = Analysis::new(ObjectSensitive::new(2), mom)
-        .with_budget(budget)
+    let with_m = AnalysisConfig::new(ObjectSensitive::new(2), mom)
+        .budget(budget)
         .run(&p)
         .unwrap();
     let base_edges: std::collections::HashSet<_> = base.call_graph_edges().collect();

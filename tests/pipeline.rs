@@ -3,7 +3,7 @@
 //! every stage.
 
 use mahjong::{build_with_fpg, MahjongConfig};
-use pta::{Analysis, Budget, HeapAbstraction, ObjectSensitive};
+use pta::{AnalysisConfig, Budget, HeapAbstraction, ObjectSensitive};
 
 #[test]
 fn full_pipeline_on_all_programs() {
@@ -48,8 +48,8 @@ fn full_pipeline_on_all_programs() {
 
         // The merged analysis runs and produces no more objects than
         // classes (plus heap-context variation).
-        let r = Analysis::new(ObjectSensitive::new(2), out.mom.clone())
-            .with_budget(Budget::seconds(120))
+        let r = AnalysisConfig::new(ObjectSensitive::new(2), out.mom.clone())
+            .budget(Budget::seconds(120))
             .run(p)
             .unwrap_or_else(|e| panic!("{name}: M-2obj {e}"));
         assert!(r.reachable_method_count() > 0);
@@ -103,8 +103,8 @@ fn unscalable_budget_is_reported() {
     // With a zero-second budget, any analysis on a non-trivial program
     // reports Unscalable instead of hanging or panicking.
     let w = workloads::dacapo::workload("eclipse", 1);
-    let err = Analysis::new(ObjectSensitive::new(3), pta::AllocSiteAbstraction)
-        .with_budget(Budget {
+    let err = AnalysisConfig::new(ObjectSensitive::new(3), pta::AllocSiteAbstraction)
+        .budget(Budget {
             time_limit: std::time::Duration::from_millis(0),
         })
         .run(&w.program)

@@ -4,7 +4,7 @@
 
 use clients::{devirtualization, ClientMetrics};
 use mahjong::{build_heap_abstraction, MahjongConfig};
-use pta::{AllocSiteAbstraction, Analysis, ContextInsensitive, ObjectSensitive};
+use pta::{AllocSiteAbstraction, AnalysisConfig, ContextInsensitive, ObjectSensitive};
 
 #[test]
 fn linked_list_spine_merges_entirely() {
@@ -24,14 +24,14 @@ fn linked_list_spine_merges_entirely() {
         .collect();
     assert_eq!(node_classes, vec![3], "the whole spine merges");
     // And the (Item) cast stays safe under M-ci.
-    let r = Analysis::new(ContextInsensitive, out.mom).run(&p).unwrap();
+    let r = AnalysisConfig::new(ContextInsensitive, out.mom).run(&p).unwrap();
     assert_eq!(ClientMetrics::compute(&p, &r).may_fail_casts, 0);
 }
 
 #[test]
 fn visitor_double_dispatch_is_fully_devirtualizable() {
     let p = workloads::samples::visitor();
-    let r = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let d = devirtualization(&p, &r);
@@ -49,10 +49,10 @@ fn observer_notify_site_is_genuinely_polymorphic() {
     // separates the *per-context* targets, but devirtualization is a
     // per-site client, collapsed over contexts.)
     for result in [
-        Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+        AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
             .run(&p)
             .unwrap(),
-        Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+        AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
             .run(&p)
             .unwrap(),
     ] {
@@ -74,10 +74,10 @@ fn observer_subjects_do_not_merge() {
         }
     }
     // And the merged analysis reports the same client metrics.
-    let base = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+    let base = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
-    let merged = Analysis::new(ObjectSensitive::new(2), out.mom).run(&p).unwrap();
+    let merged = AnalysisConfig::new(ObjectSensitive::new(2), out.mom).run(&p).unwrap();
     assert_eq!(
         devirtualization(&p, &base).poly_sites,
         devirtualization(&p, &merged).poly_sites
@@ -87,7 +87,7 @@ fn observer_subjects_do_not_merge() {
 #[test]
 fn decorator_chain_reads_resolve() {
     let p = workloads::samples::decorator();
-    let r = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
         .run(&p)
         .unwrap();
     let m = ClientMetrics::compute(&p, &r);

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use jir::{CallKind, CallTarget, MethodId, Program, Stmt, VarId};
 use mahjong::{build_heap_abstraction, MahjongConfig};
 use pta::{
-    AllocSiteAbstraction, AllocTypeAbstraction, Analysis, AnalysisResult, CallSiteSensitive,
+    AllocSiteAbstraction, AllocTypeAbstraction, AnalysisConfig, AnalysisResult, CallSiteSensitive,
     ContextInsensitive, HeapAbstraction, ObjectSensitive, TypeSensitive,
 };
 
@@ -185,20 +185,20 @@ fn assert_sound(
     // variable — executions repeat the same bindings constantly.
     let unique: std::collections::HashSet<(VarId, jir::AllocId)> =
         observations.iter().copied().collect();
-    let mut pts_cache: HashMap<VarId, Vec<pta::ObjId>> = HashMap::new();
+    let mut pts_cache: HashMap<VarId, pta::PtsSet<pta::ObjId>> = HashMap::new();
     for (var, site) in unique {
         let expected = repr(site);
         let pts = pts_cache
             .entry(var)
             .or_insert_with(|| result.points_to_collapsed(var));
-        let covered = pts.iter().any(|&o| result.obj_alloc(o) == expected);
+        let covered = pts.iter().any(|o| result.obj_alloc(o) == expected);
         assert!(
             covered,
             "{label}: unsound — execution bound {} = object from {} \
              but analysis reports {:?}",
             program.var(var).name(),
             program.alloc_label(site),
-            pts.iter().map(|&o| program.alloc_label(result.obj_alloc(o))).collect::<Vec<_>>()
+            pts.iter().map(|o| program.alloc_label(result.obj_alloc(o))).collect::<Vec<_>>()
         );
     }
 }
@@ -212,26 +212,26 @@ fn soundness_suite(program: &Program) {
     );
 
     // Allocation-site abstraction, several sensitivities.
-    let r = Analysis::new(ContextInsensitive, AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
         .run(program)
         .unwrap();
     assert_sound("ci", program, &r, &interp.observations, |a| a);
-    let r = Analysis::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
         .run(program)
         .unwrap();
     assert_sound("2cs", program, &r, &interp.observations, |a| a);
-    let r = Analysis::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
         .run(program)
         .unwrap();
     assert_sound("2obj", program, &r, &interp.observations, |a| a);
-    let r = Analysis::new(TypeSensitive::new(2), AllocSiteAbstraction)
+    let r = AnalysisConfig::new(TypeSensitive::new(2), AllocSiteAbstraction)
         .run(program)
         .unwrap();
     assert_sound("2type", program, &r, &interp.observations, |a| a);
 
     // Allocation-type abstraction.
     let at = AllocTypeAbstraction::new(program);
-    let r = Analysis::new(ContextInsensitive, at.clone())
+    let r = AnalysisConfig::new(ContextInsensitive, at.clone())
         .run(program)
         .unwrap();
     assert_sound("T-ci", program, &r, &interp.observations, |a| at.repr(a));
@@ -240,7 +240,7 @@ fn soundness_suite(program: &Program) {
     let pre = pta::pre_analysis(program).unwrap();
     let out = build_heap_abstraction(program, &pre, &MahjongConfig::default());
     let mom = out.mom;
-    let r = Analysis::new(ObjectSensitive::new(2), mom.clone())
+    let r = AnalysisConfig::new(ObjectSensitive::new(2), mom.clone())
         .run(program)
         .unwrap();
     assert_sound("M-2obj", program, &r, &interp.observations, |a| mom.repr(a));
