@@ -25,6 +25,20 @@ use bench::{fmt_count, fmt_time};
 use mahjong::MahjongConfig;
 use pta::Budget;
 
+/// Every experiment `--exp` accepts, in the order `--exp all` runs them
+/// (plus `all` itself). Printed when an unknown name is given.
+const EXPERIMENTS: &[&str] = &[
+    "motivation",
+    "fig8",
+    "fig9",
+    "table1",
+    "pre_analysis",
+    "table2",
+    "ablations",
+    "alias",
+    "all",
+];
+
 #[derive(Debug)]
 struct Args {
     exp: String,
@@ -113,6 +127,7 @@ fn main() {
         "all" => all(&args, budget),
         other => {
             eprintln!("unknown experiment `{other}`");
+            eprintln!("valid experiments: {}", EXPERIMENTS.join(", "));
             std::process::exit(2);
         }
     }
@@ -146,7 +161,8 @@ fn bench_pta_json(args: &Args) -> String {
          \"phase_secs\": {{\n    \"pre_analysis\": {:.6},\n    \"mahjong\": {:.6},\n    \
          \"main_analysis\": {:.6}\n  }},\n  \
          \"worklist_pops\": {},\n  \"propagated_objects\": {},\n  \"delta_objects\": {},\n  \
-         \"copy_edges\": {},\n  \"pts_peak_words\": {}\n}}\n",
+         \"copy_edges\": {},\n  \"pts_peak_words\": {},\n  \
+         \"scc_collapsed_ptrs\": {},\n  \"collapse_sweeps\": {},\n  \"wave_rounds\": {}\n}}\n",
         args.exp,
         args.scale,
         args.budget,
@@ -159,6 +175,9 @@ fn bench_pta_json(args: &Args) -> String {
         obs::counter("pta.delta_objects").get(),
         obs::counter("pta.copy_edges").get(),
         obs::gauge("pta.pts_peak_words").get(),
+        obs::counter("pta.scc_collapsed_ptrs").get(),
+        obs::counter("pta.collapse_sweeps").get(),
+        obs::counter("pta.wave_rounds").get(),
     )
 }
 
@@ -201,8 +220,11 @@ impl PhaseClock {
     }
 }
 
+/// One named experiment runner, as dispatched by `--exp all`.
+type Experiment<'a> = (&'a str, Box<dyn Fn() + 'a>);
+
 fn all(args: &Args, budget: Budget) {
-    let experiments: Vec<(&str, Box<dyn Fn()>)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("motivation", Box::new(|| motivation(args, budget))),
         ("fig8", Box::new(|| fig8(args))),
         ("fig9", Box::new(|| fig9(args))),

@@ -148,6 +148,17 @@ impl DisjointSets {
         self.find(x) == self.find(y)
     }
 
+    /// Resolves every element to its representative in one pass — a
+    /// *snapshot* of the partition as a plain `Vec` (index → root).
+    ///
+    /// The snapshot is detached from the forest: later `union`s do not
+    /// invalidate it. The `pta` solver uses this at finalize time to
+    /// freeze the cycle-collapse redirect table into the (immutable)
+    /// analysis result without carrying the forest itself along.
+    pub fn snapshot(&self) -> Vec<u32> {
+        (0..self.len()).map(|x| self.find(x) as u32).collect()
+    }
+
     /// Groups the universe into its equivalence classes.
     ///
     /// Returns one `Vec` per set, each listing the set's members in
@@ -228,6 +239,20 @@ mod tests {
         let before = ds.ops();
         ds.same_set(0, 1);
         assert!(ds.ops() > before);
+    }
+
+    #[test]
+    fn snapshot_freezes_partition() {
+        let mut ds = DisjointSets::new(4);
+        ds.union(0, 1);
+        let snap = ds.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0], snap[1]);
+        assert_ne!(snap[2], snap[3]);
+        // Detached: a later union does not rewrite the snapshot.
+        ds.union(2, 3);
+        assert_ne!(snap[2], snap[3]);
+        assert_eq!(ds.snapshot()[2], ds.snapshot()[3]);
     }
 
     #[test]

@@ -114,6 +114,64 @@ fn union_return_value_tracks_count() {
     }
 }
 
+/// The solver's usage pattern: the universe grows (`push` per interned
+/// pointer) *while* unions and finds interleave with it, and the ops
+/// counter is read for telemetry. Checked against the naive partition
+/// oracle replayed over the final universe.
+#[test]
+fn interleaved_push_union_find_matches_oracle() {
+    let mut rng = SplitMix64::new(0x5eed_0005);
+    for _ in 0..128 {
+        let mut ds = DisjointSets::new(1 + rng.below_usize(4));
+        let mut unions: Vec<(usize, usize)> = Vec::new();
+        let steps = 16 + rng.below_usize(64);
+        let mut ops_last = ds.ops();
+        for _ in 0..steps {
+            match rng.below_usize(4) {
+                0 => {
+                    let id = ds.push();
+                    assert_eq!(id, ds.len() - 1);
+                    // A fresh element is its own representative.
+                    assert_eq!(ds.find(id), id);
+                }
+                1 => {
+                    let (a, b) = (rng.below_usize(ds.len()), rng.below_usize(ds.len()));
+                    let distinct_before = !ds.same_set(a, b);
+                    assert_eq!(ds.union(a, b), distinct_before);
+                    unions.push((a, b));
+                }
+                2 => {
+                    let x = rng.below_usize(ds.len());
+                    let r = ds.find(x);
+                    assert!(ds.same_set(x, r));
+                    assert_eq!(ds.find(r), r, "a representative is its own root");
+                }
+                _ => {
+                    // Snapshot agrees with live finds at the moment it
+                    // is taken (the solver's finalize-time redirect).
+                    let snap = ds.snapshot();
+                    assert_eq!(snap.len(), ds.len());
+                    for (x, &root) in snap.iter().enumerate() {
+                        assert_eq!(root as usize, ds.find(x));
+                    }
+                }
+            }
+            // Every operation above performs at least one elementary
+            // union-find step; the counter never goes backwards.
+            assert!(ds.ops() > ops_last || ds.ops() == ops_last);
+            ops_last = ds.ops();
+        }
+        // Replaying the recorded unions over the final universe must
+        // yield the same partition.
+        assert_eq!(
+            ds.classes(),
+            reference_classes(ds.len(), &unions),
+            "unions={unions:?}"
+        );
+        assert!(ds.ops() > 0);
+    }
+}
+
 /// The ops counter is monotone in the workload and stays within the
 /// near-linear bound the rank + path-compression heuristics guarantee.
 #[test]

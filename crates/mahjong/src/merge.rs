@@ -102,7 +102,7 @@ impl MahjongStats {
 #[derive(Clone, Debug)]
 pub struct MahjongOutput {
     /// The new heap abstraction (paper Definition 2.2), ready to drive a
-    /// [`pta::Analysis`].
+    /// [`pta::AnalysisConfig`].
     pub mom: MergedObjectMap,
     /// Run statistics.
     pub stats: MahjongStats,

@@ -69,6 +69,3 @@ pub use object::{ObjId, ObjTable};
 pub use pts::PtsSet;
 pub use result::{AnalysisResult, AnalysisStats};
 pub use solver::{pre_analysis, AnalysisConfig, Budget, PtrId, PtrKey, Unscalable};
-
-#[allow(deprecated)]
-pub use solver::Analysis;

@@ -61,6 +61,16 @@ pub struct AnalysisStats {
     /// Peak memory footprint of all points-to sets, in 64-bit words
     /// (sets only grow, so the final footprint is the peak).
     pub pts_peak_words: u64,
+    /// Pointers merged away by online cycle collapse (each collapsed
+    /// SCC of `k` members contributes `k - 1`).
+    pub scc_collapsed_ptrs: u64,
+    /// Full Tarjan SCC sweeps run over the condensed copy graph.
+    pub collapse_sweeps: u64,
+    /// Topologically ordered propagation waves executed.
+    pub wave_rounds: u64,
+    /// Elementary union-find operations spent maintaining the collapse
+    /// partition (see [`dsu::DisjointSets::ops`]).
+    pub dsu_ops: u64,
 }
 
 impl AnalysisStats {
@@ -79,6 +89,10 @@ impl AnalysisStats {
         obs::counter("pta.call_graph_edges").add(self.call_graph_edges);
         obs::counter("pta.reachable_method_contexts").add(self.reachable_method_contexts);
         obs::counter("pta.contexts_created").add(self.context_count as u64);
+        obs::counter("pta.scc_collapsed_ptrs").add(self.scc_collapsed_ptrs);
+        obs::counter("pta.collapse_sweeps").add(self.collapse_sweeps);
+        obs::counter("pta.wave_rounds").add(self.wave_rounds);
+        obs::counter("pta.dsu_ops").add(self.dsu_ops);
         let peak = obs::gauge("pta.pts_peak_words");
         if self.pts_peak_words as i64 > peak.get() {
             peak.set(self.pts_peak_words as i64);
@@ -94,6 +108,12 @@ pub struct AnalysisResult {
     ptr_keys: Vec<PtrKey>,
     ptr_map: FastMap<PtrKey, PtrId>,
     pts: Vec<PtsSet<ObjId>>,
+    /// Cycle-collapse redirect table: `pts[redirect[i]]` is pointer
+    /// `i`'s points-to set (collapsed pointers hand their state to a
+    /// representative; members of an unfiltered copy cycle converge to
+    /// identical sets at fixpoint, so the redirection is invisible in
+    /// query results).
+    redirect: Vec<u32>,
     reachable: FastSet<(CtxId, MethodId)>,
     reachable_methods: FastSet<MethodId>,
     cg_edges: FastSet<(CallSiteId, MethodId)>,
@@ -116,6 +136,7 @@ impl AnalysisResult {
         ptr_keys: Vec<PtrKey>,
         ptr_map: FastMap<PtrKey, PtrId>,
         pts: Vec<PtsSet<ObjId>>,
+        redirect: Vec<u32>,
         reachable: FastSet<(CtxId, MethodId)>,
         reachable_methods: FastSet<MethodId>,
         cg_edges: FastSet<(CallSiteId, MethodId)>,
@@ -146,6 +167,7 @@ impl AnalysisResult {
             ptr_keys,
             ptr_map,
             pts,
+            redirect,
             reachable,
             reachable_methods,
             cg_edges,
@@ -206,7 +228,7 @@ impl AnalysisResult {
     pub fn points_to_collapsed(&self, var: VarId) -> PtsSet<ObjId> {
         let mut out = PtsSet::new();
         for p in self.var_ptrs.get(&var).into_iter().flatten() {
-            out.union_with(&self.pts[p.index()]);
+            out.union_with(self.resolved(*p));
         }
         out
     }
@@ -223,9 +245,15 @@ impl AnalysisResult {
 
     fn pts_of(&self, key: PtrKey) -> &PtsSet<ObjId> {
         match self.ptr_map.get(&key) {
-            Some(p) => &self.pts[p.index()],
+            Some(p) => self.resolved(*p),
             None => &EMPTY_PTS,
         }
+    }
+
+    /// Resolves a pointer through the cycle-collapse redirect table to
+    /// the set its representative owns.
+    fn resolved(&self, p: PtrId) -> &PtsSet<ObjId> {
+        &self.pts[self.redirect[p.index()] as usize]
     }
 
     /// Iterates over all `(object, field, points-to set)` triples — the
@@ -238,14 +266,20 @@ impl AnalysisResult {
             .iter()
             .enumerate()
             .filter_map(move |(i, key)| match *key {
-                PtrKey::Field(obj, field) => Some((obj, field, &self.pts[i])),
+                PtrKey::Field(obj, field) => {
+                    Some((obj, field, self.resolved(PtrId(i as u32))))
+                }
                 _ => None,
             })
     }
 
-    /// Sum of all points-to set sizes (a standard size metric).
+    /// Sum of all points-to set sizes (a standard size metric). Each
+    /// pointer counts its resolved (representative) set, so the metric
+    /// is unaffected by cycle collapse.
     pub fn total_points_to_size(&self) -> u64 {
-        self.pts.iter().map(|s| s.len() as u64).sum()
+        (0..self.ptr_keys.len())
+            .map(|i| self.resolved(PtrId(i as u32)).len() as u64)
+            .sum()
     }
 
     /// Number of pointer nodes in the constraint graph.

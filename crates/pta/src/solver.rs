@@ -16,10 +16,53 @@
 //! [`pts::PtsSet::union_into`], whose returned delta seeds the next
 //! hop. Type-filtered (cast) edges intersect against a per-type object
 //! mask with a word-wise AND instead of a per-object subtype walk.
+//!
+//! # Online cycle elimination
+//!
+//! Copy-edge cycles (mutually recursive parameter passing, `x = y; y =
+//! x` chains) force every member pointer to converge to the same
+//! points-to set — one delta hop per worklist pop, around and around.
+//! The solver collapses such cycles while the fixpoint runs:
+//!
+//! - **Lazy Cycle Detection** (Hardekopf & Lin): when a popped delta
+//!   crosses an unfiltered copy edge `x → y` without growing `y` and
+//!   both endpoint sets have the same size, the edge is suspected to
+//!   lie on a cycle. A bounded DFS looks for a return path `y ⇝ x`;
+//!   if one exists, the cycle it closes is collapsed. Each edge is
+//!   checked at most once.
+//! - **Periodic SCC sweeps**: once enough copy edges accumulate since
+//!   the last sweep (a counter heuristic), an iterative Tarjan pass
+//!   over the condensed copy graph collapses every multi-node SCC in
+//!   one go and recomputes the topological ranks that drive wave
+//!   propagation.
+//!
+//! Collapsed pointers are unioned in a [`dsu::DisjointSets`]. The
+//! *representative* owns the single shared points-to set, the single
+//! pending-delta slot, and the merged consumer rows (copy edges,
+//! loads, stores, calls); non-representatives keep empty slots. Every
+//! solver entry point normalizes pointers through `find()` before
+//! touching per-pointer state, and the final [`AnalysisResult`]
+//! carries the redirect table so queries against collapsed pointers
+//! resolve to the representative's set — collapse is invisible in
+//! analysis results (members of an unfiltered copy cycle provably
+//! converge to identical sets by mutual subset inclusion).
+//!
+//! # Wave propagation
+//!
+//! Between collapse points the worklist is processed in *waves*: the
+//! dirty pointers are drained into a priority queue ordered by the
+//! condensed copy graph's topological rank (sources first), so a delta
+//! crosses the acyclic core once per wave instead of re-enqueueing
+//! downstream pointers over and over. A pointer dirtied at or
+//! downstream of the wave's cursor joins the running wave; a pointer
+//! dirtied upstream waits for the next wave. `pta.wave_rounds` counts
+//! the waves.
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::time::{Duration, Instant};
 
+use dsu::DisjointSets;
 use jir::{
     AllocId, CallKind, CallSiteId, CallTarget, FieldId, MethodId, Program, Stmt, TypeId, VarId,
 };
@@ -96,8 +139,9 @@ pub struct Unscalable {
     pub methods_processed: usize,
     /// Phase timings and counters accumulated up to the overrun, so an
     /// aborted run still reports where the time went (the paper's
-    /// "unscalable within 5h" rows carry partial data too).
-    pub stats: AnalysisStats,
+    /// "unscalable within 5h" rows carry partial data too). Boxed to
+    /// keep the error variant small on the `Result` hot path.
+    pub stats: Box<AnalysisStats>,
 }
 
 impl std::fmt::Display for Unscalable {
@@ -195,41 +239,8 @@ impl<S: ContextSelector, H: HeapAbstraction> AnalysisConfig<S, H> {
     }
 }
 
-/// A configured points-to analysis, ready to run on programs.
-#[derive(Debug)]
-#[doc(hidden)]
-pub struct Analysis<S, H> {
-    config: AnalysisConfig<S, H>,
-}
-
-impl<S: ContextSelector, H: HeapAbstraction> Analysis<S, H> {
-    /// Creates an analysis with the default [`Budget`].
-    #[deprecated(since = "0.1.0", note = "use `AnalysisConfig::new` instead")]
-    pub fn new(selector: S, heap: H) -> Self {
-        Analysis {
-            config: AnalysisConfig::new(selector, heap),
-        }
-    }
-
-    /// Replaces the resource budget.
-    #[deprecated(since = "0.1.0", note = "use `AnalysisConfig::budget` instead")]
-    pub fn with_budget(mut self, budget: Budget) -> Self {
-        self.config = self.config.budget(budget);
-        self
-    }
-
-    /// Runs the analysis to its fixpoint.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Unscalable`] if the budget is exhausted first.
-    pub fn run(&self, program: &Program) -> Result<AnalysisResult, Unscalable> {
-        self.config.run(program)
-    }
-}
-
 /// A statically resolved call waiting for receiver objects.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 struct PendingCall {
     site: CallSiteId,
     caller_ctx: CtxId,
@@ -237,6 +248,13 @@ struct PendingCall {
     /// the receiver type.
     fixed_target: Option<MethodId>,
 }
+
+/// Collapse at most once per this many pending LCD candidates between
+/// worklist pops (batching keeps the DFS off the per-delta hot path).
+const LCD_BATCH: usize = 32;
+
+/// Visit budget of one lazy-cycle-detection DFS.
+const LCD_DFS_LIMIT: usize = 2048;
 
 struct Solver<'a, S, H> {
     program: &'a Program,
@@ -251,10 +269,12 @@ struct Solver<'a, S, H> {
     ptr_map: FastMap<PtrKey, PtrId>,
     ptr_keys: Vec<PtrKey>,
     pts: Vec<PtsSet<ObjId>>,
-    /// Pending (coalesced) delta per pointer; non-empty iff the pointer
-    /// is on the worklist.
+    /// Pending (coalesced) delta per pointer; non-empty only on
+    /// representatives, and only while the pointer awaits processing.
     pending: Vec<PtsSet<ObjId>>,
     /// Copy edges with an optional declared-type filter (cast edges).
+    /// Rows live on representatives; targets are normalized lazily at
+    /// processing time and eagerly at every SCC sweep.
     succ: Vec<Vec<(PtrId, Option<TypeId>)>>,
     loads: Vec<Vec<(FieldId, PtrId)>>,
     stores: Vec<Vec<(FieldId, PtrId)>>,
@@ -263,6 +283,21 @@ struct Solver<'a, S, H> {
     /// interned object whose type is a subtype of `ty`. Built lazily on
     /// the first cast against `ty`, maintained on object interning.
     masks: FastMap<TypeId, PtsSet<ObjId>>,
+
+    /// The cycle-collapse partition over pointer ids. A pointer's
+    /// per-index solver state is authoritative only on `find(p) == p`.
+    dsu: DisjointSets,
+    /// Topological rank per representative in the condensed copy graph
+    /// (sources low), recomputed at each SCC sweep; pointers interned
+    /// after the last sweep rank `u32::MAX` (processed last).
+    topo: Vec<u32>,
+    /// Copy edges added since the last full SCC sweep (the sweep
+    /// trigger counter).
+    edges_since_sweep: usize,
+    /// Unfiltered copy edges already probed by lazy cycle detection.
+    lcd_checked: FastSet<(PtrId, PtrId)>,
+    /// Quiescent-edge observations awaiting an LCD probe.
+    lcd_candidates: Vec<(PtrId, PtrId)>,
 
     reachable: FastSet<(CtxId, MethodId)>,
     reachable_methods: FastSet<MethodId>,
@@ -314,6 +349,11 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             stores: Vec::new(),
             calls: Vec::new(),
             masks: FastMap::default(),
+            dsu: DisjointSets::new(0),
+            topo: Vec::new(),
+            edges_since_sweep: 0,
+            lcd_checked: FastSet::default(),
+            lcd_candidates: Vec::new(),
             reachable: FastSet::default(),
             reachable_methods: FastSet::default(),
             cg_edges: FastSet::default(),
@@ -337,37 +377,74 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         let fixpoint_span = obs::span("solver.fixpoint");
         let delta_hist = obs::histogram("pta.worklist_delta_size");
         let mut since_check = 0usize;
-        loop {
-            since_check += 1;
-            if since_check >= 4096 {
-                since_check = 0;
-                if self.start.elapsed() > self.budget.time_limit {
-                    drop(fixpoint_span);
-                    self.stats.fixpoint_time = fixpoint_start.elapsed();
-                    self.stats.elapsed = self.start.elapsed();
-                    self.stats.context_count = self.arena.len();
-                    self.stats.call_graph_edges = self.cg_edges.len() as u64;
-                    self.stats.pts_peak_words = self.pts_words();
-                    self.stats.publish();
-                    return Err(Unscalable {
-                        elapsed: self.start.elapsed(),
-                        methods_processed: self.reachable.len(),
-                        stats: self.stats.clone(),
-                    });
-                }
-            }
-            if let Some((ctx, method)) = self.pending_methods.pop_front() {
+        'fixpoint: loop {
+            // Statement processing first: it seeds objects and edges the
+            // wave below will propagate.
+            while let Some((ctx, method)) = self.pending_methods.pop_front() {
                 self.process_method(ctx, method);
-            } else if let Some(ptr) = self.worklist.pop_front() {
-                // Take the whole coalesced delta; the pointer re-enters
-                // the worklist if processing feeds it again.
+            }
+            if self.worklist.is_empty() {
+                break 'fixpoint;
+            }
+
+            // Wave boundary: collapse cycles found since the last wave,
+            // then re-sweep whenever the copy graph changed — a sweep is
+            // O(V + E), negligible next to the propagation it orders,
+            // and fresh topological ranks are what make the wave pay
+            // off (stale ranks degenerate toward FIFO).
+            self.apply_lcd();
+            if self.edges_since_sweep > 0 {
+                self.collapse_sweep();
+            }
+
+            // One wave: dirty pointers in topological rank order.
+            self.stats.wave_rounds += 1;
+            let dirty: Vec<PtrId> = self.worklist.drain(..).collect();
+            let mut wave: BinaryHeap<Reverse<(u32, u32)>> = dirty
+                .into_iter()
+                .map(|p| Reverse((self.rank(p), p.0)))
+                .collect();
+            let mut next_wave: Vec<PtrId> = Vec::new();
+
+            while let Some(Reverse((cursor_rank, pi))) = wave.pop() {
+                // Collapse between pops only — no row iteration is on
+                // the stack here, so merging solver state is safe.
+                if self.lcd_candidates.len() >= LCD_BATCH
+                    || self.edges_since_sweep >= self.sweep_threshold()
+                {
+                    self.apply_lcd();
+                    if self.edges_since_sweep >= self.sweep_threshold() {
+                        self.collapse_sweep();
+                    }
+                    self.route_dirty(&mut wave, &mut next_wave, cursor_rank);
+                }
+
+                since_check += 1;
+                if since_check >= 4096 {
+                    since_check = 0;
+                    if self.start.elapsed() > self.budget.time_limit {
+                        drop(fixpoint_span);
+                        return Err(self.overrun(fixpoint_start));
+                    }
+                }
+
+                let ptr = PtrId(pi);
+                // A stale entry (pointer collapsed into a representative
+                // or already drained by an earlier duplicate) carries no
+                // pending delta; skip it without counting a pop.
                 let delta = std::mem::take(&mut self.pending[ptr.index()]);
+                if delta.is_empty() {
+                    continue;
+                }
                 self.stats.worklist_pops += 1;
                 delta_hist.record(delta.len() as u64);
                 self.process(ptr, &delta);
-            } else {
-                break;
+                while let Some((ctx, method)) = self.pending_methods.pop_front() {
+                    self.process_method(ctx, method);
+                }
+                self.route_dirty(&mut wave, &mut next_wave, cursor_rank);
             }
+            self.worklist.extend(next_wave);
         }
         drop(fixpoint_span);
         self.stats.fixpoint_time = fixpoint_start.elapsed();
@@ -376,8 +453,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         let finalize_span = obs::span("solver.finalize");
         self.stats.context_count = self.arena.len();
         self.stats.call_graph_edges = self.cg_edges.len() as u64;
-        // Sets only grow, so the final footprint is the peak footprint.
+        // Sets only grow, so the final footprint is the peak footprint
+        // (representatives share one set per collapsed class).
         self.stats.pts_peak_words = self.pts_words();
+        self.stats.dsu_ops = self.dsu.ops();
         if obs::enabled() {
             let pts_hist = obs::histogram("pta.points_to_set_size");
             for set in &self.pts {
@@ -391,6 +470,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             self.ptr_keys,
             self.ptr_map,
             self.pts,
+            self.dsu.snapshot(),
             self.reachable,
             self.reachable_methods,
             self.cg_edges,
@@ -404,8 +484,307 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         Ok(result.with_stats(self.stats))
     }
 
+    /// Final bookkeeping of a budget-overrun exit.
+    fn overrun(&mut self, fixpoint_start: Instant) -> Unscalable {
+        self.stats.fixpoint_time = fixpoint_start.elapsed();
+        self.stats.elapsed = self.start.elapsed();
+        self.stats.context_count = self.arena.len();
+        self.stats.call_graph_edges = self.cg_edges.len() as u64;
+        self.stats.pts_peak_words = self.pts_words();
+        self.stats.dsu_ops = self.dsu.ops();
+        self.stats.publish();
+        Unscalable {
+            elapsed: self.start.elapsed(),
+            methods_processed: self.reachable.len(),
+            stats: Box::new(self.stats.clone()),
+        }
+    }
+
     fn pts_words(&self) -> u64 {
         self.pts.iter().map(|s| s.mem_words() as u64).sum()
+    }
+
+    // --- Cycle collapse ----------------------------------------------------
+
+    /// Returns the representative of `p` in the collapse partition.
+    fn rep(&self, p: PtrId) -> PtrId {
+        PtrId(self.dsu.find(p.index()) as u32)
+    }
+
+    /// Topological rank of `p`'s representative in the condensed copy
+    /// graph (low = upstream); pointers interned after the last sweep
+    /// rank last.
+    fn rank(&self, p: PtrId) -> u32 {
+        self.topo
+            .get(self.dsu.find(p.index()))
+            .copied()
+            .unwrap_or(u32::MAX)
+    }
+
+    /// Copy edges to accumulate before the next full SCC sweep.
+    fn sweep_threshold(&self) -> usize {
+        (self.pts.len() / 4).max(4096)
+    }
+
+    /// Routes pointers dirtied since the last routing step: downstream
+    /// of the wave cursor joins the running wave, upstream waits for
+    /// the next one.
+    fn route_dirty(
+        &mut self,
+        wave: &mut BinaryHeap<Reverse<(u32, u32)>>,
+        next_wave: &mut Vec<PtrId>,
+        cursor_rank: u32,
+    ) {
+        while let Some(q) = self.worklist.pop_front() {
+            let r = self.rank(q);
+            if r >= cursor_rank {
+                wave.push(Reverse((r, q.0)));
+            } else {
+                next_wave.push(q);
+            }
+        }
+    }
+
+    /// Probes every pending LCD candidate edge `from → to` for a return
+    /// path `to ⇝ from` and collapses each cycle found.
+    fn apply_lcd(&mut self) {
+        if self.lcd_candidates.is_empty() {
+            return;
+        }
+        let cands = std::mem::take(&mut self.lcd_candidates);
+        for (from, to) in cands {
+            let (from, to) = (self.rep(from), self.rep(to));
+            if from == to {
+                continue; // already collapsed by an earlier candidate
+            }
+            if let Some(cycle) = self.find_cycle(to, from) {
+                self.collapse_scc(&cycle);
+            }
+        }
+    }
+
+    /// Bounded DFS from `start` over unfiltered copy edges looking for
+    /// `target`; returns the path (representatives, `start ..= target`)
+    /// if found. Together with the triggering edge `target → start`,
+    /// the path is one cycle.
+    fn find_cycle(&self, start: PtrId, target: PtrId) -> Option<Vec<u32>> {
+        let mut visited: FastSet<u32> = FastSet::default();
+        visited.insert(start.0);
+        let mut path: Vec<(u32, usize)> = vec![(start.0, 0)];
+        let mut budget = LCD_DFS_LIMIT;
+        'dfs: while let Some(&(v, _)) = path.last() {
+            let vi = v as usize;
+            loop {
+                let cursor = path.last().unwrap().1;
+                if cursor >= self.succ[vi].len() {
+                    path.pop();
+                    continue 'dfs;
+                }
+                path.last_mut().unwrap().1 = cursor + 1;
+                let (to, filter) = self.succ[vi][cursor];
+                if filter.is_some() {
+                    continue;
+                }
+                let w = self.dsu.find(to.index()) as u32;
+                if w == target.0 {
+                    let mut cycle: Vec<u32> = path.iter().map(|&(n, _)| n).collect();
+                    cycle.push(target.0);
+                    return Some(cycle);
+                }
+                if w as usize == vi || !visited.insert(w) {
+                    continue;
+                }
+                if budget == 0 {
+                    return None;
+                }
+                budget -= 1;
+                path.push((w, 0));
+                continue 'dfs;
+            }
+        }
+        None
+    }
+
+    /// Collapses one strongly connected component (all members must be
+    /// current representatives): unions the members, moves every
+    /// member's points-to set, pending delta, and consumer rows onto
+    /// the surviving representative, and queues whatever some member's
+    /// consumers have not seen yet.
+    fn collapse_scc(&mut self, members: &[u32]) {
+        debug_assert!(members.len() > 1);
+        for w in members.windows(2) {
+            self.dsu.union(w[0] as usize, w[1] as usize);
+        }
+        let r = self.dsu.find(members[0] as usize);
+
+        let mut merged: PtsSet<ObjId> = PtsSet::new();
+        let mut pend: PtsSet<ObjId> = PtsSet::new();
+        let mut olds: Vec<(PtsSet<ObjId>, bool)> = Vec::with_capacity(members.len());
+        for &m in members {
+            let mi = m as usize;
+            let pts_m = std::mem::take(&mut self.pts[mi]);
+            let pend_m = std::mem::take(&mut self.pending[mi]);
+            pend.union_with(&pend_m);
+            merged.union_with(&pts_m);
+            olds.push((pts_m, self.has_consumers(mi)));
+        }
+        // A member's consumers have seen `pts \ pending`; after the
+        // merge they hang off the representative, so the pending delta
+        // must cover `merged \ (pts \ pending) = (merged \ pts) ∪
+        // pending` for every consumer-carrying member. Replaying an
+        // object a consumer already saw is idempotent, so the union
+        // over members is sound.
+        for (old, has_consumers) in &olds {
+            if *has_consumers && old.len() != merged.len() {
+                pend.union_with(&merged.difference(old));
+            }
+        }
+
+        let mut succ_r: Vec<(PtrId, Option<TypeId>)> = Vec::new();
+        let mut loads_r: Vec<(FieldId, PtrId)> = Vec::new();
+        let mut stores_r: Vec<(FieldId, PtrId)> = Vec::new();
+        let mut calls_r: Vec<PendingCall> = Vec::new();
+        for &m in members {
+            let mi = m as usize;
+            succ_r.append(&mut self.succ[mi]);
+            loads_r.append(&mut self.loads[mi]);
+            stores_r.append(&mut self.stores[mi]);
+            calls_r.append(&mut self.calls[mi]);
+        }
+        // Normalize the merged copy row; intra-SCC unfiltered edges
+        // became self-loops and can never contribute again. (Filtered
+        // self-loops are kept but skipped at processing time.)
+        for e in &mut succ_r {
+            e.0 = PtrId(self.dsu.find(e.0.index()) as u32);
+        }
+        succ_r.retain(|&(to, f)| !(to.index() == r && f.is_none()));
+        succ_r.sort_unstable();
+        succ_r.dedup();
+        loads_r.sort_unstable();
+        loads_r.dedup();
+        stores_r.sort_unstable();
+        stores_r.dedup();
+        calls_r.sort_unstable();
+        calls_r.dedup();
+        self.succ[r] = succ_r;
+        self.loads[r] = loads_r;
+        self.stores[r] = stores_r;
+        self.calls[r] = calls_r;
+
+        self.stats.scc_collapsed_ptrs += (members.len() - 1) as u64;
+        self.pts[r] = merged;
+        if !pend.is_empty() {
+            self.pending[r] = pend;
+            self.worklist.push_back(PtrId(r as u32));
+        }
+    }
+
+    /// Full cycle collapse: iterative Tarjan over the condensed copy
+    /// graph (unfiltered edges between representatives), collapsing
+    /// every multi-node SCC and recomputing the topological ranks used
+    /// by wave scheduling.
+    fn collapse_sweep(&mut self) {
+        self.stats.collapse_sweeps += 1;
+        self.edges_since_sweep = 0;
+        let n = self.pts.len();
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        // SCCs in Tarjan emission order: a component is emitted only
+        // after everything it reaches, i.e. sinks first.
+        let mut sccs: Vec<Vec<u32>> = Vec::new();
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+
+        for s in 0..n as u32 {
+            if index[s as usize] != UNVISITED || self.dsu.find(s as usize) != s as usize {
+                continue;
+            }
+            index[s as usize] = next_index;
+            low[s as usize] = next_index;
+            next_index += 1;
+            on_stack[s as usize] = true;
+            stack.push(s);
+            frames.push((s, 0));
+            'dfs: while let Some(&(v, _)) = frames.last() {
+                let vi = v as usize;
+                loop {
+                    let cursor = frames.last().unwrap().1;
+                    if cursor >= self.succ[vi].len() {
+                        break;
+                    }
+                    frames.last_mut().unwrap().1 = cursor + 1;
+                    let (to, filter) = self.succ[vi][cursor];
+                    if filter.is_some() {
+                        continue;
+                    }
+                    let w = self.dsu.find(to.index()) as u32;
+                    let wi = w as usize;
+                    if wi == vi {
+                        continue;
+                    }
+                    if index[wi] == UNVISITED {
+                        index[wi] = next_index;
+                        low[wi] = next_index;
+                        next_index += 1;
+                        on_stack[wi] = true;
+                        stack.push(w);
+                        frames.push((w, 0));
+                        continue 'dfs;
+                    } else if on_stack[wi] {
+                        low[vi] = low[vi].min(index[wi]);
+                    }
+                }
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    let pi = p as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                }
+                if low[vi] == index[vi] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(comp);
+                }
+            }
+        }
+
+        // Sinks were emitted first; wave order wants sources first.
+        let num = sccs.len() as u32;
+        self.topo = vec![UNVISITED; n];
+        for (emitted, comp) in sccs.iter().enumerate() {
+            let rank = num - 1 - emitted as u32;
+            for &m in comp {
+                self.topo[m as usize] = rank;
+            }
+        }
+        for comp in &sccs {
+            if comp.len() > 1 {
+                self.collapse_scc(comp);
+            }
+        }
+        // Tidy surviving rows: renormalize targets against the new
+        // partition and drop duplicates so later pops scan less.
+        for i in 0..n {
+            if self.dsu.find(i) != i || self.succ[i].is_empty() {
+                continue;
+            }
+            let row = &mut self.succ[i];
+            for e in row.iter_mut() {
+                e.0 = PtrId(self.dsu.find(e.0.index()) as u32);
+            }
+            row.retain(|&(to, f)| !(to.index() == i && f.is_none()));
+            row.sort_unstable();
+            row.dedup();
+        }
     }
 
     // --- Pointer graph primitives ----------------------------------------
@@ -423,6 +802,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.loads.push(Vec::new());
         self.stores.push(Vec::new());
         self.calls.push(Vec::new());
+        self.dsu.push();
         p
     }
 
@@ -462,11 +842,30 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.masks.insert(ty, mask);
     }
 
+    /// Returns `true` if anything observes the pointer's points-to set:
+    /// an outgoing copy edge, a registered load/store, or a call
+    /// dispatching on it.
+    fn has_consumers(&self, i: usize) -> bool {
+        !self.succ[i].is_empty()
+            || !self.loads[i].is_empty()
+            || !self.stores[i].is_empty()
+            || !self.calls[i].is_empty()
+    }
+
     /// Merges `delta` into the pointer's pending set, enqueueing the
-    /// pointer on the empty→non-empty transition (pending is non-empty
-    /// exactly while the pointer sits on the worklist).
+    /// pointer on the empty→non-empty transition. `ptr` must already be
+    /// a representative whose points-to set absorbed the delta.
+    ///
+    /// A delta arriving at a pointer with no consumers is dropped, not
+    /// queued: the objects already live in `pts(ptr)`, and every
+    /// consumer-registration path (`add_edge`, load/store registration,
+    /// receiver-call registration) replays the full existing set when a
+    /// consumer appears later — so popping a sink pointer can never do
+    /// work. This skips the single useless pop most pointers would
+    /// otherwise get.
     fn queue_delta(&mut self, ptr: PtrId, delta: PtsSet<ObjId>) {
-        if delta.is_empty() {
+        debug_assert_eq!(self.dsu.find(ptr.index()), ptr.index());
+        if delta.is_empty() || !self.has_consumers(ptr.index()) {
             return;
         }
         let pending = &mut self.pending[ptr.index()];
@@ -479,6 +878,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
 
     /// Seeds `objs` into `pts(ptr)`, enqueueing the genuinely new part.
     fn add_objects(&mut self, ptr: PtrId, objs: impl IntoIterator<Item = ObjId>) {
+        let ptr = self.rep(ptr);
         let set = &mut self.pts[ptr.index()];
         let mut delta = PtsSet::new();
         for o in objs {
@@ -507,8 +907,11 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
     }
 
     /// Adds the copy edge `from → to` (optionally type-filtered) and
-    /// replays the existing points-to set of `from`.
+    /// replays the existing points-to set of `from`. Both endpoints are
+    /// normalized to their representatives; an unfiltered edge that
+    /// collapses to a self-loop is dropped (it can never contribute).
     fn add_edge(&mut self, from: PtrId, to: PtrId, filter: Option<TypeId>) {
+        let (from, to) = (self.rep(from), self.rep(to));
         if from == to && filter.is_none() {
             return;
         }
@@ -518,6 +921,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         }
         row.push((to, filter));
         self.stats.copy_edges += 1;
+        self.edges_since_sweep += 1;
         // A filtered self-edge stays in the graph (for edge-count
         // parity) but can never contribute: filtering a set into itself
         // adds nothing.
@@ -542,23 +946,22 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.stats.delta_objects += delta.len() as u64;
         // "Propagated" counts only deltas that actually flow somewhere:
         // a pointer with no outgoing edges, loads, stores, or calls is a
-        // sink and its delta dies here.
-        if !self.succ[i].is_empty()
-            || !self.loads[i].is_empty()
-            || !self.stores[i].is_empty()
-            || !self.calls[i].is_empty()
-        {
+        // sink and its delta dies here. (Sink deltas are no longer even
+        // queued, so the guard is belt-and-braces.)
+        if self.has_consumers(i) {
             self.stats.propagated_objects += delta.len() as u64;
         }
 
-        // Rows are append-only; iterate a snapshot of the length. An
-        // entry appended mid-processing replays the full source set at
-        // add time, which already covers this delta.
+        // Rows are append-only between collapse points; iterate a
+        // snapshot of the length. An entry appended mid-processing
+        // replays the full source set at add time, which already covers
+        // this delta.
         let n_succ = self.succ[i].len();
         for k in 0..n_succ {
-            let (to, filter) = self.succ[i][k];
+            let (to_raw, filter) = self.succ[i][k];
+            let to = self.rep(to_raw);
             if to == ptr {
-                continue; // filtered self-edge: never contributes
+                continue; // self-edge: never contributes
             }
             if let Some(ty) = filter {
                 self.ensure_mask(ty);
@@ -568,7 +971,20 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 None => delta.union_into(dst),
                 Some(ty) => delta.union_into_masked(&self.masks[&ty], dst),
             };
-            self.queue_delta(to, d);
+            if d.is_empty() {
+                // Lazy cycle detection: the delta crossed `ptr → to`
+                // without growing the target, and the endpoint sets
+                // have equal sizes — the classic hint that the edge
+                // lies on a converged cycle. Probe each edge once.
+                if filter.is_none()
+                    && self.pts[i].len() == self.pts[to.index()].len()
+                    && self.lcd_checked.insert((ptr, to))
+                {
+                    self.lcd_candidates.push((ptr, to));
+                }
+            } else {
+                self.queue_delta(to, d);
+            }
         }
 
         // Field loads/stores and calls hang off variable pointers only.
@@ -637,6 +1053,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             Stmt::Load { lhs, base, field } => {
                 let bp = self.var_ptr(ctx, base);
                 let lp = self.var_ptr(ctx, lhs);
+                let bp = self.rep(bp);
                 self.loads[bp.index()].push((field, lp));
                 // Replay objects already known for the base. The clone
                 // is O(words); interning field pointers below may grow
@@ -650,6 +1067,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             Stmt::Store { base, field, rhs } => {
                 let bp = self.var_ptr(ctx, base);
                 let rp = self.var_ptr(ctx, rhs);
+                let bp = self.rep(bp);
                 self.stores[bp.index()].push((field, rp));
                 let existing = self.pts[bp.index()].clone();
                 for obj in existing.iter() {
@@ -712,6 +1130,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         fixed_target: Option<MethodId>,
     ) {
         let rp = self.var_ptr(ctx, recv);
+        let rp = self.rep(rp);
         let call = PendingCall {
             site,
             caller_ctx: ctx,

@@ -9,7 +9,7 @@
 //!    solver's results on every corpus program × sensitivity were
 //!    hashed with a canonical, interning-order-independent fingerprint
 //!    (per-variable collapsed object sets described by allocation site
-//!    + heap-context element chain, plus the call graph). The rewritten
+//!    and heap-context element chain, plus the call graph). The rewritten
 //!    solver must reproduce every hash bit-for-bit, along with the
 //!    invariant summary statistics.
 //! 2. **Naive cross-check.** On the small corpus programs the results

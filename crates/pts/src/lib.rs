@@ -324,6 +324,36 @@ impl<T: Elem> PtsSet<T> {
         }
     }
 
+    /// Returns `self \ other` as a fresh set. Word-wise when both sides
+    /// are dense; otherwise walks `self`.
+    ///
+    /// This is the collapse-time primitive of the solver's cycle
+    /// elimination: when a strongly connected component's members are
+    /// merged ("take and merge"), the representative's pending delta
+    /// must cover everything some member's consumers have not seen yet —
+    /// exactly `merged \ member` for each member.
+    pub fn difference(&self, other: &PtsSet<T>) -> PtsSet<T> {
+        let mut out = PtsSet::new();
+        match (&self.repr, &other.repr) {
+            (Repr::Dense { words, .. }, Repr::Dense { words: ow, .. }) => {
+                for (w, &s) in words.iter().enumerate() {
+                    let keep = s & !ow.get(w).copied().unwrap_or(0);
+                    if keep != 0 {
+                        out.push_word(w, keep);
+                    }
+                }
+            }
+            _ => {
+                for e in self.iter() {
+                    if !other.contains(e) {
+                        out.insert(e);
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Unions `other` into `self` without computing a delta.
     pub fn union_with(&mut self, other: &PtsSet<T>) {
         match &other.repr {
@@ -502,7 +532,7 @@ mod tests {
         let mut target = PtsSet::new();
         let delta = src.union_into_masked(&mask, &mut target);
         assert_eq!(delta.len(), 20);
-        assert!(target.iter().all(|i: u32| i % 2 == 0));
+        assert!(target.iter().all(|i: u32| i.is_multiple_of(2)));
     }
 
     #[test]
@@ -517,6 +547,27 @@ mod tests {
         dense.insert(1000);
         assert_ne!(dense, small_copy);
         assert_eq!(small, [9u32, 3].into_iter().collect::<PtsSet<u32>>());
+    }
+
+    #[test]
+    fn difference_all_paths() {
+        // small \ small
+        let a: PtsSet<u32> = [1u32, 2, 3].into_iter().collect();
+        let b: PtsSet<u32> = [2u32, 4].into_iter().collect();
+        assert_eq!(a.difference(&b).to_vec(), vec![1, 3]);
+        // dense \ dense, including words past the other's end
+        let big_a: PtsSet<u32> = (0u32..200).collect();
+        let big_b: PtsSet<u32> = (0u32..100).collect();
+        assert_eq!(
+            big_a.difference(&big_b).to_vec(),
+            (100u32..200).collect::<Vec<_>>()
+        );
+        // dense \ small and small \ dense
+        assert_eq!(big_b.difference(&a).len(), 97);
+        assert_eq!(a.difference(&big_b), PtsSet::new());
+        // difference against self / empty
+        assert!(big_a.difference(&big_a).is_empty());
+        assert_eq!(a.difference(&PtsSet::new()), a);
     }
 
     #[test]

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must keep green.
+#
+#   ./scripts/tier1.sh
+#
+# Build (release), full test suite, and a warning-free clippy pass over
+# every target so solver refactors keep a clean lint baseline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

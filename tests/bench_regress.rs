@@ -1,0 +1,52 @@
+//! Propagation-volume regression smoke test.
+//!
+//! Runs a small fixed workload (deterministic generator, fixed scale,
+//! fixed configuration) and asserts the solver's `worklist_pops` stays
+//! within 10% of a checked-in bound. The bound is the value measured
+//! when the online-cycle-collapse solver landed, times 1.10 — a real
+//! regression (losing collapse, breaking wave ordering, reverting to
+//! full-set propagation) blows well past it, while normal drift from
+//! heuristic tweaks fits inside.
+//!
+//! Update `WORKLIST_POPS_BOUND` deliberately, with the measured value
+//! and the reason, whenever the solver's propagation strategy changes.
+
+use pta::{AllocSiteAbstraction, AnalysisConfig, Budget, CallSiteSensitive};
+
+/// 1.10 × the `worklist_pops` measured for this exact configuration
+/// (luindex, scale 2, 2cs, alloc-site heap) on the cycle-collapsing
+/// solver with sink suppression: 4,256 measured → 4,681 bound.
+const WORKLIST_POPS_BOUND: u64 = 4_681;
+
+#[test]
+fn worklist_pops_does_not_regress() {
+    let w = workloads::dacapo::workload("luindex", 2);
+    let result = AnalysisConfig::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+        .budget(Budget::seconds(120))
+        .run(&w.program)
+        .expect("luindex@2 under 2cs fits a 120s budget");
+    let pops = result.stats().worklist_pops;
+    assert!(pops > 0, "solver did no work");
+    assert!(
+        pops <= WORKLIST_POPS_BOUND,
+        "worklist_pops regressed: {pops} > bound {WORKLIST_POPS_BOUND} \
+         (bound = measured-at-commit × 1.10; see module docs)"
+    );
+}
+
+/// The fixed workload contains copy cycles, so the collapse machinery
+/// must actually fire — guards against silently disabling it.
+#[test]
+fn cycle_collapse_is_active() {
+    let w = workloads::dacapo::workload("luindex", 2);
+    let result = AnalysisConfig::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+        .budget(Budget::seconds(120))
+        .run(&w.program)
+        .expect("luindex@2 under 2cs fits a 120s budget");
+    let stats = result.stats();
+    assert!(
+        stats.scc_collapsed_ptrs > 0,
+        "no pointers collapsed on a workload with known copy cycles"
+    );
+    assert!(stats.wave_rounds > 0);
+}

@@ -48,7 +48,11 @@ fn figure1_counters_are_deterministic() {
         "one Hopcroft–Karp query per equivalence check"
     );
     assert!(counter("automata.hk_unionfind_ops") > 0);
-    assert!(counter("pta.worklist_pops") > 0);
+    // Sink suppression can drive `pta.worklist_pops` to zero on tiny
+    // programs (every delta lands before its consumers register, so
+    // the fixpoint resolves entirely through registration replays) —
+    // assert on the constraint graph instead.
+    assert!(counter("pta.copy_edges") > 0);
 
     // Rerunning the identical pipeline doubles the monotonic counters.
     let pre2 = pta::pre_analysis(&p).unwrap();

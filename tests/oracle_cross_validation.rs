@@ -54,7 +54,7 @@ const CASES: usize = 128;
 /// decision must agree on every same-type pair.
 #[test]
 fn automata_agree_with_oracle_on_acyclic_fpgs() {
-    let mut rng = SplitMix64::new(0x0_0AC1E_0001);
+    let mut rng = SplitMix64::new(0x0000_AC1E_0001);
     for _ in 0..CASES {
         let (fpg, allocs) = random_acyclic_fpg(&mut rng, 8, 3, 3);
         let depth = exact_depth_for_acyclic(&fpg);
@@ -74,7 +74,7 @@ fn automata_agree_with_oracle_on_acyclic_fpgs() {
 /// on random graphs via the automata path.
 #[test]
 fn type_consistency_is_an_equivalence_relation() {
-    let mut rng = SplitMix64::new(0x0_0AC1E_0002);
+    let mut rng = SplitMix64::new(0x0000_AC1E_0002);
     for _ in 0..CASES {
         let (fpg, allocs) = random_acyclic_fpg(&mut rng, 7, 2, 2);
         // Reflexivity.
@@ -111,7 +111,7 @@ fn type_consistency_is_an_equivalence_relation() {
 /// always share a type.
 #[test]
 fn merged_classes_are_type_homogeneous() {
-    let mut rng = SplitMix64::new(0x0_0AC1E_0003);
+    let mut rng = SplitMix64::new(0x0000_AC1E_0003);
     for _ in 0..CASES {
         let (fpg, _allocs) = random_acyclic_fpg(&mut rng, 10, 3, 3);
         let out = mahjong::merge_equivalent_objects(&fpg, &mahjong::MahjongConfig::default());
@@ -130,7 +130,7 @@ fn merged_classes_are_type_homogeneous() {
 /// representatives is NOT type-consistent.
 #[test]
 fn representatives_are_pairwise_inconsistent() {
-    let mut rng = SplitMix64::new(0x0_0AC1E_0004);
+    let mut rng = SplitMix64::new(0x0000_AC1E_0004);
     for _ in 0..CASES {
         let (fpg, _allocs) = random_acyclic_fpg(&mut rng, 8, 2, 2);
         let out = mahjong::merge_equivalent_objects(&fpg, &mahjong::MahjongConfig::default());

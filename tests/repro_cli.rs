@@ -1,0 +1,56 @@
+//! CLI behavior of the `repro` binary that the experiment tables don't
+//! exercise: argument validation and error reporting.
+
+use std::process::Command;
+
+fn repro() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+/// An unknown experiment name must fail loudly: non-zero exit, the bad
+/// name echoed, and the full list of valid experiments so the caller
+/// can fix the typo without reading the source.
+#[test]
+fn unknown_experiment_lists_valid_names_and_fails() {
+    let out = repro()
+        .args(["--exp", "tabel2"])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success(), "unknown experiment must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment `tabel2`"), "stderr: {stderr}");
+    for name in [
+        "motivation",
+        "fig8",
+        "fig9",
+        "table1",
+        "pre_analysis",
+        "table2",
+        "ablations",
+        "alias",
+        "all",
+    ] {
+        assert!(stderr.contains(name), "valid-list lacks `{name}`: {stderr}");
+    }
+}
+
+/// Unknown flags keep failing fast too (guards the arg parser).
+#[test]
+fn unknown_flag_fails() {
+    let out = repro().args(["--bogus"]).output().expect("repro runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument `--bogus`"), "stderr: {stderr}");
+}
+
+/// A known experiment on the smallest workload succeeds end to end.
+#[test]
+fn known_experiment_succeeds() {
+    let out = repro()
+        .args(["--exp", "fig9", "--scale", "1"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 9"), "stdout: {stdout}");
+}
