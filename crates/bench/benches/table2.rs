@@ -20,6 +20,7 @@ fn main() {
                         heap,
                         &prepared.mahjong.mom,
                         budget,
+                        1,
                     )
                 });
             }

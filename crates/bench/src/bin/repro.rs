@@ -1,8 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro --exp table2 [--scale N] [--budget SECS] [--programs a,b,c]
-//!       [--metrics-json PATH] [--trace PATH]
+//! repro --exp table2 [--scale N] [--budget SECS] [--threads N] [--programs a,b,c]
+//!       [--metrics-json PATH] [--bench-json PATH] [--force] [--trace PATH]
 //! repro --exp fig8
 //! repro --exp fig9
 //! repro --exp table1
@@ -13,11 +13,17 @@
 //! repro --exp all
 //! ```
 //!
-//! `--metrics-json` dumps the telemetry registry as JSON-Lines and
-//! `--trace` writes a Chrome `trace_event` file (load it in
-//! `about:tracing` or Perfetto). `--exp all` additionally prints a
-//! per-experiment phase-time summary (pre-analysis vs. Mahjong vs. the
-//! main analysis). Set `OBS_DISABLE=1` to turn recording into no-ops.
+//! `--threads` sets the solver's wave-propagation shard count (`0`,
+//! the default, means one shard per available hardware thread; every
+//! count produces bit-identical results). `--metrics-json` dumps the
+//! telemetry registry as JSON-Lines and `--trace` writes a Chrome
+//! `trace_event` file (load it in `about:tracing` or Perfetto). The
+//! benchmark record lands at `--bench-json PATH` when given, otherwise
+//! as `BENCH_pta.json` next to the `--metrics-json` file; an existing
+//! record is never overwritten unless `--force` is passed. `--exp all`
+//! additionally prints a per-experiment phase-time summary
+//! (pre-analysis vs. Mahjong vs. the main analysis). Set
+//! `OBS_DISABLE=1` to turn recording into no-ops.
 
 use std::time::Duration;
 
@@ -44,8 +50,12 @@ struct Args {
     exp: String,
     scale: usize,
     budget: u64,
+    /// Solver shard count, already resolved (`--threads 0` = auto).
+    threads: usize,
     programs: Vec<String>,
     metrics_json: Option<String>,
+    bench_json: Option<String>,
+    force: bool,
     trace: Option<String>,
 }
 
@@ -53,7 +63,10 @@ fn parse_args() -> Args {
     let mut exp = "all".to_owned();
     let mut scale = 4;
     let mut budget = 60;
+    let mut threads = 0;
     let mut metrics_json = None;
+    let mut bench_json = None;
+    let mut force = false;
     let mut trace = None;
     let mut programs: Vec<String> = workloads::dacapo::PROGRAMS
         .iter()
@@ -88,9 +101,24 @@ fn parse_args() -> Args {
                     .unwrap_or(programs);
                 i += 2;
             }
+            "--threads" => {
+                threads = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(threads);
+                i += 2;
+            }
             "--metrics-json" => {
                 metrics_json = argv.get(i + 1).cloned();
                 i += 2;
+            }
+            "--bench-json" => {
+                bench_json = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--force" => {
+                force = true;
+                i += 1;
             }
             "--trace" => {
                 trace = argv.get(i + 1).cloned();
@@ -106,14 +134,32 @@ fn parse_args() -> Args {
         exp,
         scale,
         budget,
+        threads: match threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        },
         programs,
         metrics_json,
+        bench_json,
+        force,
         trace,
     }
 }
 
 fn main() {
     let args = parse_args();
+    // Validate the benchmark-record target up front: refusing to
+    // clobber after a multi-minute run would throw the work away.
+    let bench_target = args
+        .bench_json
+        .clone()
+        .or_else(|| args.metrics_json.as_deref().map(bench_pta_path));
+    if let Some(bench) = &bench_target {
+        if !args.force && std::path::Path::new(bench).exists() {
+            eprintln!("repro: refusing to overwrite {bench} (pass --force to replace it)");
+            std::process::exit(1);
+        }
+    }
     let budget = Budget::seconds(args.budget);
     match args.exp.as_str() {
         "table2" => table2(&args, budget),
@@ -133,8 +179,14 @@ fn main() {
     }
     if let Some(path) = &args.metrics_json {
         write_or_die(path, &obs::export_jsonl());
-        let bench = bench_pta_path(path);
-        write_or_die(&bench, &bench_pta_json(&args));
+    }
+    if let Some(bench) = &bench_target {
+        // Re-check: a file may have appeared while the experiment ran.
+        if !args.force && std::path::Path::new(bench).exists() {
+            eprintln!("repro: refusing to overwrite {bench} (pass --force to replace it)");
+            std::process::exit(1);
+        }
+        write_or_die(bench, &bench_pta_json(&args));
         eprintln!("repro: wrote {bench}");
     }
     if let Some(path) = &args.trace {
@@ -157,15 +209,17 @@ fn bench_pta_json(args: &Args) -> String {
     let r = obs::registry();
     let phase = |name: &str| r.phase_time(name).as_secs_f64();
     format!(
-        "{{\n  \"exp\": \"{}\",\n  \"scale\": {},\n  \"budget_secs\": {},\n  \
+        "{{\n  \"exp\": \"{}\",\n  \"scale\": {},\n  \"budget_secs\": {},\n  \"threads\": {},\n  \
          \"phase_secs\": {{\n    \"pre_analysis\": {:.6},\n    \"mahjong\": {:.6},\n    \
          \"main_analysis\": {:.6}\n  }},\n  \
          \"worklist_pops\": {},\n  \"propagated_objects\": {},\n  \"delta_objects\": {},\n  \
          \"copy_edges\": {},\n  \"pts_peak_words\": {},\n  \
-         \"scc_collapsed_ptrs\": {},\n  \"collapse_sweeps\": {},\n  \"wave_rounds\": {}\n}}\n",
+         \"scc_collapsed_ptrs\": {},\n  \"collapse_sweeps\": {},\n  \"wave_rounds\": {},\n  \
+         \"par_shards\": {},\n  \"par_steal_none\": {},\n  \"wave_barrier_ns\": {}\n}}\n",
         args.exp,
         args.scale,
         args.budget,
+        args.threads,
         phase("pre_analysis"),
         phase("mahjong.fpg_build") + phase("mahjong.automata_build")
             + phase("mahjong.equivalence_check"),
@@ -178,6 +232,9 @@ fn bench_pta_json(args: &Args) -> String {
         obs::counter("pta.scc_collapsed_ptrs").get(),
         obs::counter("pta.collapse_sweeps").get(),
         obs::counter("pta.wave_rounds").get(),
+        obs::counter("pta.par_shards").get(),
+        obs::counter("pta.par_steal_none").get(),
+        obs::counter("pta.wave_barrier_ns").get(),
     )
 }
 
@@ -268,14 +325,20 @@ fn all(args: &Args, budget: Budget) {
 }
 
 fn table2(args: &Args, budget: Budget) {
-    println!("## Table 2 — main results (scale {}, budget {}s)", args.scale, args.budget);
+    println!(
+        "## Table 2 — main results (scale {}, budget {}s, {} thread{})",
+        args.scale,
+        args.budget,
+        args.threads,
+        if args.threads == 1 { "" } else { "s" }
+    );
     println!();
     println!(
         "| program | pre (ci/FPG/Mahjong) | analysis | time | M-time | speedup | #fail-casts (A/M) | #poly (A/M) | #cg edges (A/M) |"
     );
     println!("|---|---|---|---|---|---|---|---|---|");
     for name in &args.programs {
-        let (prepared, rows) = bench::table2_program(name, args.scale, budget);
+        let (prepared, rows) = bench::table2_program(name, args.scale, budget, args.threads);
         for (i, row) in rows.iter().enumerate() {
             let pre = if i == 0 {
                 format!(
@@ -363,7 +426,7 @@ fn table1(args: &Args) {
 fn motivation(args: &Args, budget: Budget) {
     println!("## Section 2.1 — pmd under 3obj / T-3obj / M-3obj (scale {})", args.scale);
     println!();
-    let (_prepared, m) = bench::motivation(args.scale, budget);
+    let (_prepared, m) = bench::motivation(args.scale, budget, args.threads);
     println!("| config | time | #cg edges | #fail-casts | #poly |");
     println!("|---|---|---|---|---|");
     for (name, run) in [("3obj", &m.obj3), ("T-3obj", &m.t_obj3), ("M-3obj", &m.m_obj3)] {

@@ -121,20 +121,29 @@ impl RunOutcome {
     }
 }
 
-/// Runs one `(sensitivity, heap)` configuration under a budget.
+/// Runs one `(sensitivity, heap)` configuration under a budget with
+/// `threads` wave-propagation shards (see [`AnalysisConfig::threads`];
+/// `1` = sequential, `0` = one shard per hardware thread).
 pub fn run_configuration(
     program: &Program,
     sensitivity: Sensitivity,
     heap: HeapKind,
     mom: &MergedObjectMap,
     budget: Budget,
+    threads: usize,
 ) -> RunOutcome {
     match heap {
-        HeapKind::AllocSite => run_with_heap(program, sensitivity, AllocSiteAbstraction, budget),
-        HeapKind::AllocType => {
-            run_with_heap(program, sensitivity, AllocTypeAbstraction::new(program), budget)
+        HeapKind::AllocSite => {
+            run_with_heap(program, sensitivity, AllocSiteAbstraction, budget, threads)
         }
-        HeapKind::Mahjong => run_with_heap(program, sensitivity, mom.clone(), budget),
+        HeapKind::AllocType => run_with_heap(
+            program,
+            sensitivity,
+            AllocTypeAbstraction::new(program),
+            budget,
+            threads,
+        ),
+        HeapKind::Mahjong => run_with_heap(program, sensitivity, mom.clone(), budget, threads),
     }
 }
 
@@ -143,21 +152,26 @@ fn run_with_heap<H: HeapAbstraction>(
     sensitivity: Sensitivity,
     heap: H,
     budget: Budget,
+    threads: usize,
 ) -> RunOutcome {
     let _phase = obs::span("main_analysis");
     let start = Instant::now();
     let result = match sensitivity {
         Sensitivity::Ci => AnalysisConfig::new(ContextInsensitive, heap)
             .budget(budget)
+            .threads(threads)
             .run(program),
         Sensitivity::Cs(k) => AnalysisConfig::new(CallSiteSensitive::new(k), heap)
             .budget(budget)
+            .threads(threads)
             .run(program),
         Sensitivity::Obj(k) => AnalysisConfig::new(ObjectSensitive::new(k), heap)
             .budget(budget)
+            .threads(threads)
             .run(program),
         Sensitivity::Type(k) => AnalysisConfig::new(TypeSensitive::new(k), heap)
             .budget(budget)
+            .threads(threads)
             .run(program),
     };
     match result {
@@ -198,8 +212,11 @@ pub fn prepare(name: &str, scale: usize, config: &MahjongConfig) -> Prepared {
     let t = Instant::now();
     let pre = {
         let _phase = obs::span("pre_analysis");
+        // The Mahjong thread budget drives the CI pass too, so both
+        // halves of the pre-analysis pipeline scale together.
         AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
             .budget(Budget::seconds(600))
+            .threads(config.threads)
             .run(&program)
             .expect("pre-analysis fits its budget")
     };
@@ -241,16 +258,27 @@ pub struct Table2Row {
     pub speedup: Option<f64>,
 }
 
-/// Runs the Table 2 matrix for one program.
-pub fn table2_program(name: &str, scale: usize, budget: Budget) -> (Prepared, Vec<Table2Row>) {
-    let prepared = prepare(name, scale, &MahjongConfig::default());
+/// Runs the Table 2 matrix for one program with `threads` solver
+/// shards (both the pre-analysis CI pass and every main analysis).
+pub fn table2_program(
+    name: &str,
+    scale: usize,
+    budget: Budget,
+    threads: usize,
+) -> (Prepared, Vec<Table2Row>) {
+    let config = MahjongConfig {
+        threads: threads.max(1),
+        ..MahjongConfig::default()
+    };
+    let prepared = prepare(name, scale, &config);
     let mom = &prepared.mahjong.mom;
     let rows = Sensitivity::TABLE2
         .iter()
         .map(|&s| {
             let baseline =
-                run_configuration(&prepared.program, s, HeapKind::AllocSite, mom, budget);
-            let mahjong = run_configuration(&prepared.program, s, HeapKind::Mahjong, mom, budget);
+                run_configuration(&prepared.program, s, HeapKind::AllocSite, mom, budget, threads);
+            let mahjong =
+                run_configuration(&prepared.program, s, HeapKind::Mahjong, mom, budget, threads);
             let speedup = match (baseline.seconds, mahjong.seconds) {
                 (Some(b), Some(m)) if m > 0.0 => Some(b / m),
                 _ => None,
@@ -372,15 +400,15 @@ pub struct MotivationResult {
     pub m_obj3: RunOutcome,
 }
 
-/// Runs the motivation experiment.
-pub fn motivation(scale: usize, budget: Budget) -> (Prepared, MotivationResult) {
+/// Runs the motivation experiment with `threads` solver shards.
+pub fn motivation(scale: usize, budget: Budget, threads: usize) -> (Prepared, MotivationResult) {
     let prepared = prepare("pmd", scale, &MahjongConfig::default());
     let mom = &prepared.mahjong.mom;
     let s = Sensitivity::Obj(3);
     let result = MotivationResult {
-        obj3: run_configuration(&prepared.program, s, HeapKind::AllocSite, mom, budget),
-        t_obj3: run_configuration(&prepared.program, s, HeapKind::AllocType, mom, budget),
-        m_obj3: run_configuration(&prepared.program, s, HeapKind::Mahjong, mom, budget),
+        obj3: run_configuration(&prepared.program, s, HeapKind::AllocSite, mom, budget, threads),
+        t_obj3: run_configuration(&prepared.program, s, HeapKind::AllocType, mom, budget, threads),
+        m_obj3: run_configuration(&prepared.program, s, HeapKind::Mahjong, mom, budget, threads),
     };
     (prepared, result)
 }
@@ -488,6 +516,7 @@ pub fn ablations(name: &str, scale: usize, budget: Budget) -> Vec<AblationRow> {
                 HeapKind::Mahjong,
                 &prepared.mahjong.mom,
                 budget,
+                1,
             );
             AblationRow {
                 name: label.to_owned(),

@@ -6,10 +6,12 @@
 //!             [--budget SECS] [--metrics-json PATH] [--trace PATH]
 //! ```
 //!
-//! `--metrics-json` writes the telemetry registry as JSON-Lines and
-//! `--trace` writes a Chrome `trace_event` file (open in
-//! `about:tracing` / Perfetto). Set `OBS_DISABLE=1` to turn all
-//! recording into no-ops.
+//! `--threads` shards both pipeline stages: the pre-analysis solver's
+//! parallel wave propagation and Mahjong's type-consistency checks
+//! (results are bit-identical for any count). `--metrics-json` writes
+//! the telemetry registry as JSON-Lines and `--trace` writes a Chrome
+//! `trace_event` file (open in `about:tracing` / Perfetto). Set
+//! `OBS_DISABLE=1` to turn all recording into no-ops.
 //!
 //! The paper ships Mahjong as a standalone tool that any
 //! allocation-site-based points-to framework can call; this binary is
@@ -69,8 +71,10 @@ fn main() {
 
     // The pre-analysis is a plain context-insensitive run; `--budget`
     // routes through the same `AnalysisConfig` builder every other
-    // entry point uses.
-    let mut pre_cfg = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction);
+    // entry point uses, and `--threads` shards its wave propagation
+    // exactly like the merge phase (results stay bit-identical).
+    let mut pre_cfg = AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
+        .threads(config.threads);
     if let Some(secs) = budget_secs {
         pre_cfg = pre_cfg.time_limit_secs(secs);
     }

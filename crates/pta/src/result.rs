@@ -71,6 +71,16 @@ pub struct AnalysisStats {
     /// Elementary union-find operations spent maintaining the collapse
     /// partition (see [`dsu::DisjointSets::ops`]).
     pub dsu_ops: u64,
+    /// Parallel wave shards executed (counted only when a level batch
+    /// actually fanned out to `> 1` shard; zero for sequential runs).
+    pub par_shards: u64,
+    /// Spawned shard workers that found the batch cursor already
+    /// exhausted before claiming a single chunk — a high ratio against
+    /// `par_shards` means levels are too small for the fan-out.
+    pub par_steal_none: u64,
+    /// Nanoseconds the coordinating thread spent waiting at level
+    /// barriers for shard workers to finish.
+    pub wave_barrier_ns: u64,
 }
 
 impl AnalysisStats {
@@ -93,6 +103,9 @@ impl AnalysisStats {
         obs::counter("pta.collapse_sweeps").add(self.collapse_sweeps);
         obs::counter("pta.wave_rounds").add(self.wave_rounds);
         obs::counter("pta.dsu_ops").add(self.dsu_ops);
+        obs::counter("pta.par_shards").add(self.par_shards);
+        obs::counter("pta.par_steal_none").add(self.par_steal_none);
+        obs::counter("pta.wave_barrier_ns").add(self.wave_barrier_ns);
         let peak = obs::gauge("pta.pts_peak_words");
         if self.pts_peak_words as i64 > peak.get() {
             peak.set(self.pts_peak_words as i64);

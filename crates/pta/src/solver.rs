@@ -57,9 +57,40 @@
 //! downstream of the wave's cursor joins the running wave; a pointer
 //! dirtied upstream waits for the next wave. `pta.wave_rounds` counts
 //! the waves.
+//!
+//! # Parallel wave propagation
+//!
+//! With [`AnalysisConfig::threads`] above one, each wave is processed
+//! *level-synchronously*: the topological ranks are longest-path
+//! **levels** of the condensed copy graph, so all dirty pointers
+//! sharing a rank are mutually independent along unfiltered copy edges
+//! and form one batch. A batch runs in three phases:
+//!
+//! 1. **Resolve** (sequential): normalize each member's copy row
+//!    through the DSU and materialize any missing cast masks — the two
+//!    pieces of solver state that are not thread-safe.
+//! 2. **Propagate** (parallel, read-only): `std::thread::scope` shards
+//!    the batch over worker threads via chunked self-scheduling (an
+//!    atomic cursor). Each worker computes, into thread-local scratch
+//!    buffers, every copy edge's *contribution* — [`pts::PtsSet::difference`]
+//!    / [`pts::PtsSet::difference_masked`] against a frozen view of the
+//!    target sets — without writing a single byte of shared state.
+//! 3. **Merge** (sequential, deterministic): contributions are applied
+//!    target-by-target in ascending pointer-id order with
+//!    [`pts::PtsSet::union_into_from_shards`], then each member's field
+//!    loads/stores and call dispatches run in batch order. Because the
+//!    merge order depends only on the batch contents — never on thread
+//!    count or scheduling — any `threads` value produces bit-identical
+//!    analysis results (enforced by `tests/thread_parity.rs`).
+//!
+//! `pta.par_shards` counts shards spawned, `pta.par_steal_none` counts
+//! workers that found the cursor already exhausted, and
+//! `pta.wave_barrier_ns` accumulates the coordinator's wait at the
+//! level barrier; all three flow into `BENCH_pta.json`.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use dsu::DisjointSets;
@@ -185,18 +216,33 @@ pub struct AnalysisConfig<S, H> {
     heap: H,
     budget: Budget,
     observability: Option<bool>,
+    threads: usize,
 }
 
 impl<S: ContextSelector, H: HeapAbstraction> AnalysisConfig<S, H> {
-    /// Creates a configuration with the default [`Budget`] and the
-    /// process-wide observability setting.
+    /// Creates a configuration with the default [`Budget`], the
+    /// process-wide observability setting, and sequential (one-thread)
+    /// wave propagation.
     pub fn new(selector: S, heap: H) -> Self {
         AnalysisConfig {
             selector,
             heap,
             budget: Budget::default(),
             observability: None,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count for wave propagation (see the
+    /// module docs on *parallel wave propagation*).
+    ///
+    /// `1` — the default — runs the classic sequential worklist loop;
+    /// `0` means "auto": one shard per available hardware thread.
+    /// Every thread count produces bit-identical analysis results; the
+    /// knob only trades wall-clock for cores.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
     }
 
     /// Replaces the resource budget.
@@ -226,12 +272,17 @@ impl<S: ContextSelector, H: HeapAbstraction> AnalysisConfig<S, H> {
     ///
     /// Returns [`Unscalable`] if the budget is exhausted first.
     pub fn run(&self, program: &Program) -> Result<AnalysisResult, Unscalable> {
+        let threads = match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        let solver = || Solver::new(program, &self.selector, &self.heap, self.budget, threads);
         match self.observability {
-            None => Solver::new(program, &self.selector, &self.heap, self.budget).solve(),
+            None => solver().solve(),
             Some(on) => {
                 let prev = obs::enabled();
                 obs::set_enabled(on);
-                let r = Solver::new(program, &self.selector, &self.heap, self.budget).solve();
+                let r = solver().solve();
                 obs::set_enabled(prev);
                 r
             }
@@ -256,11 +307,86 @@ const LCD_BATCH: usize = 32;
 /// Visit budget of one lazy-cycle-detection DFS.
 const LCD_DFS_LIMIT: usize = 2048;
 
+/// Levels smaller than this are processed inline: spawning shard
+/// threads for a handful of pointers costs more than it saves.
+const PAR_MIN_BATCH: usize = 16;
+
+/// Target batch items per shard when sizing the thread fan-out (a
+/// level of 40 pointers on an 8-thread budget spawns 5 shards, not 8).
+const PAR_SHARD_ITEMS: usize = 8;
+
+/// Per-item output of one parallel wave shard: the copy-edge
+/// contributions `(target representative, objects new to it)` computed
+/// against a frozen view of the points-to sets, plus the quiescent
+/// unfiltered edges to probe for lazy cycle detection.
+#[derive(Default)]
+struct ItemOut {
+    contribs: Vec<(u32, PtsSet<ObjId>)>,
+    lcd: Vec<u32>,
+}
+
+/// One shard of the parallel propagate phase: claims chunks of the
+/// level batch off the shared cursor and computes, for every claimed
+/// item, its copy-edge contributions against the frozen points-to
+/// sets. Reads only — every row was DSU-normalized and every cast mask
+/// materialized by the resolve phase. Returns the tagged per-item
+/// outputs plus whether this shard claimed any chunk at all (the
+/// `pta.par_steal_none` signal).
+fn shard_worker(
+    batch: &[(PtrId, PtsSet<ObjId>)],
+    succ: &[Vec<(PtrId, Option<TypeId>)>],
+    pts: &[PtsSet<ObjId>],
+    masks: &FastMap<TypeId, PtsSet<ObjId>>,
+    cursor: &AtomicUsize,
+    chunk: usize,
+) -> (Vec<(usize, ItemOut)>, bool) {
+    let mut out: Vec<(usize, ItemOut)> = Vec::new();
+    let mut got_any = false;
+    loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= batch.len() {
+            break;
+        }
+        got_any = true;
+        let end = (start + chunk).min(batch.len());
+        for (bi, &(ptr, ref delta)) in batch.iter().enumerate().take(end).skip(start) {
+            let i = ptr.index();
+            let mut item = ItemOut::default();
+            for &(to, filter) in &succ[i] {
+                if to == ptr {
+                    continue; // self-edge: never contributes
+                }
+                let ti = to.index();
+                let d = match filter {
+                    None => delta.difference(&pts[ti]),
+                    Some(ty) => delta.difference_masked(&masks[&ty], &pts[ti]),
+                };
+                if d.is_empty() {
+                    // Same hint as the sequential path: an unfiltered
+                    // edge the delta crossed without growing the target,
+                    // with equal endpoint sizes, may close a cycle.
+                    if filter.is_none() && pts[i].len() == pts[ti].len() {
+                        item.lcd.push(to.0);
+                    }
+                } else {
+                    item.contribs.push((to.0, d));
+                }
+            }
+            if !item.contribs.is_empty() || !item.lcd.is_empty() {
+                out.push((bi, item));
+            }
+        }
+    }
+    (out, got_any)
+}
+
 struct Solver<'a, S, H> {
     program: &'a Program,
     selector: &'a S,
     heap: &'a H,
     budget: Budget,
+    /// Wave-propagation shard budget (1 = sequential worklist loop).
+    threads: usize,
     start: Instant,
 
     arena: ContextArena,
@@ -317,7 +443,13 @@ struct Solver<'a, S, H> {
 }
 
 impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
-    fn new(program: &'a Program, selector: &'a S, heap: &'a H, budget: Budget) -> Self {
+    fn new(
+        program: &'a Program,
+        selector: &'a S,
+        heap: &'a H,
+        budget: Budget,
+        threads: usize,
+    ) -> Self {
         let return_vars = program
             .method_ids()
             .map(|m| {
@@ -337,6 +469,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             selector,
             heap,
             budget,
+            threads: threads.max(1),
             start: Instant::now(),
             arena: ContextArena::new(),
             objs: ObjTable::new(),
@@ -406,43 +539,14 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 .collect();
             let mut next_wave: Vec<PtrId> = Vec::new();
 
-            while let Some(Reverse((cursor_rank, pi))) = wave.pop() {
-                // Collapse between pops only — no row iteration is on
-                // the stack here, so merging solver state is safe.
-                if self.lcd_candidates.len() >= LCD_BATCH
-                    || self.edges_since_sweep >= self.sweep_threshold()
-                {
-                    self.apply_lcd();
-                    if self.edges_since_sweep >= self.sweep_threshold() {
-                        self.collapse_sweep();
-                    }
-                    self.route_dirty(&mut wave, &mut next_wave, cursor_rank);
-                }
-
-                since_check += 1;
-                if since_check >= 4096 {
-                    since_check = 0;
-                    if self.start.elapsed() > self.budget.time_limit {
-                        drop(fixpoint_span);
-                        return Err(self.overrun(fixpoint_start));
-                    }
-                }
-
-                let ptr = PtrId(pi);
-                // A stale entry (pointer collapsed into a representative
-                // or already drained by an earlier duplicate) carries no
-                // pending delta; skip it without counting a pop.
-                let delta = std::mem::take(&mut self.pending[ptr.index()]);
-                if delta.is_empty() {
-                    continue;
-                }
-                self.stats.worklist_pops += 1;
-                delta_hist.record(delta.len() as u64);
-                self.process(ptr, &delta);
-                while let Some((ctx, method)) = self.pending_methods.pop_front() {
-                    self.process_method(ctx, method);
-                }
-                self.route_dirty(&mut wave, &mut next_wave, cursor_rank);
+            let overrun = if self.threads > 1 {
+                self.wave_parallel(&mut wave, &mut next_wave, &delta_hist, &mut since_check)
+            } else {
+                self.wave_sequential(&mut wave, &mut next_wave, &delta_hist, &mut since_check)
+            };
+            if overrun {
+                drop(fixpoint_span);
+                return Err(self.overrun(fixpoint_start));
             }
             self.worklist.extend(next_wave);
         }
@@ -541,6 +645,236 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 wave.push(Reverse((r, q.0)));
             } else {
                 next_wave.push(q);
+            }
+        }
+    }
+
+    /// Processes one wave with the classic sequential per-pop loop
+    /// (`threads == 1`). Returns `true` on budget overrun.
+    fn wave_sequential(
+        &mut self,
+        wave: &mut BinaryHeap<Reverse<(u32, u32)>>,
+        next_wave: &mut Vec<PtrId>,
+        delta_hist: &obs::Histogram,
+        since_check: &mut usize,
+    ) -> bool {
+        while let Some(Reverse((cursor_rank, pi))) = wave.pop() {
+            // Collapse between pops only — no row iteration is on
+            // the stack here, so merging solver state is safe.
+            if self.lcd_candidates.len() >= LCD_BATCH
+                || self.edges_since_sweep >= self.sweep_threshold()
+            {
+                self.apply_lcd();
+                if self.edges_since_sweep >= self.sweep_threshold() {
+                    self.collapse_sweep();
+                }
+                self.route_dirty(wave, next_wave, cursor_rank);
+            }
+
+            *since_check += 1;
+            if *since_check >= 4096 {
+                *since_check = 0;
+                if self.start.elapsed() > self.budget.time_limit {
+                    return true;
+                }
+            }
+
+            let ptr = PtrId(pi);
+            // A stale entry (pointer collapsed into a representative
+            // or already drained by an earlier duplicate) carries no
+            // pending delta; skip it without counting a pop.
+            let delta = std::mem::take(&mut self.pending[ptr.index()]);
+            if delta.is_empty() {
+                continue;
+            }
+            self.stats.worklist_pops += 1;
+            delta_hist.record(delta.len() as u64);
+            self.process(ptr, &delta);
+            while let Some((ctx, method)) = self.pending_methods.pop_front() {
+                self.process_method(ctx, method);
+            }
+            self.route_dirty(wave, next_wave, cursor_rank);
+        }
+        false
+    }
+
+    /// Processes one wave level-synchronously (`threads > 1`): all
+    /// dirty pointers sharing the lowest outstanding topological level
+    /// form one batch handed to [`Solver::process_level`]. Returns
+    /// `true` on budget overrun.
+    fn wave_parallel(
+        &mut self,
+        wave: &mut BinaryHeap<Reverse<(u32, u32)>>,
+        next_wave: &mut Vec<PtrId>,
+        delta_hist: &obs::Histogram,
+        since_check: &mut usize,
+    ) -> bool {
+        while let Some(&Reverse((level, _))) = wave.peek() {
+            // Collapse between batches only: shard workers read the
+            // copy rows and the partition, so both must be stable for
+            // the whole batch.
+            if self.lcd_candidates.len() >= LCD_BATCH
+                || self.edges_since_sweep >= self.sweep_threshold()
+            {
+                self.apply_lcd();
+                if self.edges_since_sweep >= self.sweep_threshold() {
+                    self.collapse_sweep();
+                }
+                self.route_dirty(wave, next_wave, level);
+            }
+
+            // Drain the level. Equal-level pointers share no unfiltered
+            // copy edge (levels are longest-path depths of the condensed
+            // graph), so their deltas can propagate from one frozen
+            // snapshot concurrently. A filtered (cast) edge may connect
+            // level peers; its target simply re-dirties and pops again
+            // in a later batch.
+            let mut batch: Vec<(PtrId, PtsSet<ObjId>)> = Vec::new();
+            while let Some(&Reverse((r, pi))) = wave.peek() {
+                if r != level {
+                    break;
+                }
+                wave.pop();
+                let ptr = PtrId(pi);
+                let delta = std::mem::take(&mut self.pending[ptr.index()]);
+                if !delta.is_empty() {
+                    batch.push((ptr, delta));
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+
+            *since_check += batch.len();
+            if *since_check >= 4096 {
+                *since_check = 0;
+                if self.start.elapsed() > self.budget.time_limit {
+                    return true;
+                }
+            }
+
+            self.process_level(&batch, delta_hist);
+            self.route_dirty(wave, next_wave, level);
+        }
+        false
+    }
+
+    /// Processes one level batch in the three phases described in the
+    /// module docs: sequential resolve, parallel read-only propagate,
+    /// sequential deterministic merge.
+    fn process_level(&mut self, batch: &[(PtrId, PtsSet<ObjId>)], delta_hist: &obs::Histogram) {
+        // Resolve: normalize every copy row in the batch through the
+        // DSU (`Cell`-based, not `Sync`) and materialize every cast
+        // mask a shard might read. Rows stay sorted enough for the
+        // workers: duplicates introduced by normalization are harmless
+        // (unions are idempotent).
+        for &(ptr, ref delta) in batch {
+            let i = ptr.index();
+            self.stats.worklist_pops += 1;
+            delta_hist.record(delta.len() as u64);
+            self.stats.delta_objects += delta.len() as u64;
+            if self.has_consumers(i) {
+                self.stats.propagated_objects += delta.len() as u64;
+            }
+            for k in 0..self.succ[i].len() {
+                let (to_raw, filter) = self.succ[i][k];
+                self.succ[i][k].0 = self.rep(to_raw);
+                if let Some(ty) = filter {
+                    self.ensure_mask(ty);
+                }
+            }
+        }
+
+        // Propagate: shards claim chunks of the batch off an atomic
+        // cursor and compute copy-edge contributions against a frozen
+        // view of the points-to sets — no shared writes at all.
+        let shards = if batch.len() >= PAR_MIN_BATCH {
+            self.threads
+                .min(batch.len().div_ceil(PAR_SHARD_ITEMS))
+                .max(1)
+        } else {
+            1
+        };
+        let chunk = batch.len().div_ceil(shards * 4).max(1);
+        let cursor = AtomicUsize::new(0);
+        let mut outs: Vec<(usize, ItemOut)> = if shards > 1 {
+            self.stats.par_shards += shards as u64;
+            let succ = &self.succ;
+            let pts = &self.pts;
+            let masks = &self.masks;
+            let cursor = &cursor;
+            let (outs, steal_none, barrier_ns) = std::thread::scope(|s| {
+                let handles: Vec<_> = (1..shards)
+                    .map(|_| s.spawn(move || shard_worker(batch, succ, pts, masks, cursor, chunk)))
+                    .collect();
+                let (mut outs, _) = shard_worker(batch, succ, pts, masks, cursor, chunk);
+                let barrier_start = Instant::now();
+                let mut steal_none = 0u64;
+                for h in handles {
+                    let (o, got_any) = h.join().expect("wave shard worker panicked");
+                    if !got_any {
+                        steal_none += 1;
+                    }
+                    outs.extend(o);
+                }
+                (outs, steal_none, barrier_start.elapsed().as_nanos() as u64)
+            });
+            self.stats.par_steal_none += steal_none;
+            self.stats.wave_barrier_ns += barrier_ns;
+            outs
+        } else {
+            shard_worker(batch, &self.succ, &self.pts, &self.masks, &cursor, batch.len()).0
+        };
+        // Shards report in join order; batch index restores the one
+        // true order before anything downstream looks at the results.
+        outs.sort_unstable_by_key(|&(bi, _)| bi);
+
+        // Merge: apply contributions target-by-target in ascending
+        // pointer-id order (ties broken by batch index), so the writes
+        // depend only on the batch contents — never on thread count.
+        let mut slots: Vec<(u32, usize, usize)> = Vec::new();
+        for (oi, (_, item)) in outs.iter().enumerate() {
+            for (ci, &(target, _)) in item.contribs.iter().enumerate() {
+                slots.push((target, oi, ci));
+            }
+        }
+        slots.sort_unstable();
+        let mut si = 0;
+        while si < slots.len() {
+            let target = slots[si].0;
+            let mut end = si;
+            while end < slots.len() && slots[end].0 == target {
+                end += 1;
+            }
+            let delta = PtsSet::union_into_from_shards(
+                slots[si..end]
+                    .iter()
+                    .map(|&(_, oi, ci)| &outs[oi].1.contribs[ci].1),
+                &mut self.pts[target as usize],
+            );
+            self.queue_delta(PtrId(target), delta);
+            si = end;
+        }
+
+        // Quiescent edges spotted by the shards feed lazy cycle
+        // detection exactly as in the sequential path.
+        for (bi, item) in &outs {
+            let from = batch[*bi].0;
+            for &to in &item.lcd {
+                let to = PtrId(to);
+                if self.lcd_checked.insert((from, to)) {
+                    self.lcd_candidates.push((from, to));
+                }
+            }
+        }
+
+        // Non-copy consumers (field loads/stores, call dispatch) mutate
+        // solver state freely, so they run sequentially in batch order,
+        // after all copy contributions have landed.
+        for &(ptr, ref delta) in batch {
+            self.process_consumers(ptr, delta);
+            while let Some((ctx, method)) = self.pending_methods.pop_front() {
+                self.process_method(ctx, method);
             }
         }
     }
@@ -757,13 +1091,41 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             }
         }
 
-        // Sinks were emitted first; wave order wants sources first.
-        let num = sccs.len() as u32;
-        self.topo = vec![UNVISITED; n];
-        for (emitted, comp) in sccs.iter().enumerate() {
-            let rank = num - 1 - emitted as u32;
+        // Wave order wants sources first, and parallel batching wants
+        // the rank to be a *level* — the longest-path depth in the
+        // condensed DAG — so that equal-rank components share no
+        // unfiltered copy edge and a whole level can propagate from one
+        // frozen snapshot. Tarjan emitted sinks first, so iterating
+        // components in reverse emission order finalizes every
+        // predecessor before its successors are relaxed: one pass over
+        // the condensed edges suffices.
+        let mut scc_of = vec![UNVISITED; n];
+        for (e, comp) in sccs.iter().enumerate() {
             for &m in comp {
-                self.topo[m as usize] = rank;
+                scc_of[m as usize] = e as u32;
+            }
+        }
+        let mut level = vec![0u32; sccs.len()];
+        for e in (0..sccs.len()).rev() {
+            let l = level[e];
+            for &m in &sccs[e] {
+                for &(to, filter) in &self.succ[m as usize] {
+                    if filter.is_some() {
+                        continue;
+                    }
+                    let we = scc_of[self.dsu.find(to.index())];
+                    if we == e as u32 || we == UNVISITED {
+                        continue;
+                    }
+                    let d = &mut level[we as usize];
+                    *d = (*d).max(l + 1);
+                }
+            }
+        }
+        self.topo = vec![UNVISITED; n];
+        for (e, comp) in sccs.iter().enumerate() {
+            for &m in comp {
+                self.topo[m as usize] = level[e];
             }
         }
         for comp in &sccs {
@@ -987,6 +1349,16 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             }
         }
 
+        self.process_consumers(ptr, delta);
+    }
+
+    /// Runs the non-copy consumers of a popped delta: field loads and
+    /// stores materialize field pointers and edges, calls dispatch on
+    /// the new receiver objects. Shared by the sequential per-pop path
+    /// and the parallel merge phase (where it runs in batch order after
+    /// every copy contribution has landed).
+    fn process_consumers(&mut self, ptr: PtrId, delta: &PtsSet<ObjId>) {
+        let i = ptr.index();
         // Field loads/stores and calls hang off variable pointers only.
         let n_loads = self.loads[i].len();
         for k in 0..n_loads {

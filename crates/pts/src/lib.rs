@@ -324,6 +324,69 @@ impl<T: Elem> PtsSet<T> {
         }
     }
 
+    /// Returns `(self ∩ mask) \ other` as a fresh set, without touching
+    /// `other`. Fully word-wise when all three sets are dense.
+    ///
+    /// This is the read-only probe of the solver's **parallel wave
+    /// shards**: worker threads compute each copy edge's contribution
+    /// against a frozen view of the target sets (no `&mut` anywhere),
+    /// and the sequential merge applies the contributions afterwards
+    /// with [`PtsSet::union_into_from_shards`].
+    pub fn difference_masked(&self, mask: &PtsSet<T>, other: &PtsSet<T>) -> PtsSet<T> {
+        let mut out = PtsSet::new();
+        match (&self.repr, &mask.repr, &other.repr) {
+            (
+                Repr::Dense { words, .. },
+                Repr::Dense { words: mw, .. },
+                Repr::Dense { words: ow, .. },
+            ) => {
+                for (w, &s) in words.iter().enumerate() {
+                    let keep = s
+                        & mw.get(w).copied().unwrap_or(0)
+                        & !ow.get(w).copied().unwrap_or(0);
+                    if keep != 0 {
+                        out.push_word(w, keep);
+                    }
+                }
+            }
+            _ => {
+                for e in self.iter() {
+                    if mask.contains(e) && !other.contains(e) {
+                        out.insert(e);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Unions every shard set into `target`, returning the combined
+    /// delta (elements genuinely new to `target`) as one fresh set.
+    ///
+    /// This is the deterministic merge half of the solver's parallel
+    /// wave propagation: per-thread scratch contributions for one target
+    /// pointer are applied *in slice order*, so the result — and the
+    /// returned delta — depends only on the order of `shards`, never on
+    /// how many threads produced them.
+    pub fn union_into_from_shards<'a>(
+        shards: impl IntoIterator<Item = &'a PtsSet<T>>,
+        target: &mut PtsSet<T>,
+    ) -> PtsSet<T>
+    where
+        T: 'a,
+    {
+        let mut delta = PtsSet::new();
+        for shard in shards {
+            let d = shard.union_into(target);
+            if delta.is_empty() {
+                delta = d;
+            } else {
+                delta.union_with(&d);
+            }
+        }
+        delta
+    }
+
     /// Returns `self \ other` as a fresh set. Word-wise when both sides
     /// are dense; otherwise walks `self`.
     ///
@@ -568,6 +631,52 @@ mod tests {
         // difference against self / empty
         assert!(big_a.difference(&big_a).is_empty());
         assert_eq!(a.difference(&PtsSet::new()), a);
+    }
+
+    #[test]
+    fn difference_masked_all_paths() {
+        // Small everything.
+        let src: PtsSet<u32> = [1u32, 2, 3, 4].into_iter().collect();
+        let mask: PtsSet<u32> = [2u32, 3, 9].into_iter().collect();
+        let other: PtsSet<u32> = [3u32].into_iter().collect();
+        assert_eq!(src.difference_masked(&mask, &other).to_vec(), vec![2]);
+        // Dense everything, including words past the shorter operands.
+        let big_src: PtsSet<u32> = (0u32..300).collect();
+        let big_mask: PtsSet<u32> = (0u32..300).filter(|i| i % 3 == 0).collect();
+        let big_other: PtsSet<u32> = (0u32..150).collect();
+        let got = big_src.difference_masked(&big_mask, &big_other);
+        let want: Vec<u32> = (150u32..300).filter(|i| i % 3 == 0).collect();
+        assert_eq!(got.to_vec(), want);
+        // Mixed representations agree with the dense path.
+        assert_eq!(
+            big_src.difference_masked(&mask, &other).to_vec(),
+            vec![2, 9]
+        );
+        // Empty mask yields an empty result.
+        assert!(src
+            .difference_masked(&PtsSet::new(), &PtsSet::new())
+            .is_empty());
+    }
+
+    #[test]
+    fn union_into_from_shards_merges_in_order() {
+        let a: PtsSet<u32> = [1u32, 2].into_iter().collect();
+        let b: PtsSet<u32> = [2u32, 3, 100].into_iter().collect();
+        let c: PtsSet<u32> = (200u32..280).collect(); // dense shard
+        let mut target: PtsSet<u32> = [1u32, 250].into_iter().collect();
+        let delta = PtsSet::union_into_from_shards([&a, &b, &c], &mut target);
+        let mut want: Vec<u32> = vec![2, 3, 100];
+        want.extend((200u32..280).filter(|&i| i != 250));
+        assert_eq!(delta.to_vec(), want);
+        // {1, 2, 3, 100} plus the dense 200..280 run.
+        assert_eq!(target.len(), 4 + 80);
+        // Quiescent second application: every shard already applied.
+        assert!(PtsSet::union_into_from_shards([&a, &b, &c], &mut target).is_empty());
+        // No shards: no delta, target untouched.
+        let before = target.to_vec();
+        let no_shards: [&PtsSet<u32>; 0] = [];
+        assert!(PtsSet::union_into_from_shards(no_shards, &mut target).is_empty());
+        assert_eq!(target.to_vec(), before);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Render the committed BENCH_*.json records as a markdown table.
+
+Each PR that changes solver performance commits a `BENCH_*.json`
+snapshot (written by `repro --metrics-json` / `--bench-json`; schema
+documented in README "Observability"). This script turns the set of
+committed snapshots into the "Performance trajectory" table in
+README.md, so the perf story is reproducible from checked-in data
+instead of hand-edited numbers.
+
+    scripts/bench_table.py              # print the table to stdout
+    scripts/bench_table.py --update     # rewrite the marked README block
+
+The schema has grown across PRs (cycle-collapse counters arrived in
+PR 3, thread counters in PR 4); missing keys render as `-` so old
+records stay first-class rows.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BEGIN = "<!-- bench-table:begin -->"
+END = "<!-- bench-table:end -->"
+
+# (column header, json key, formatter)
+COLUMNS = [
+    ("main analysis (s)", ("phase_secs", "main_analysis"), lambda v: f"{v:.1f}"),
+    ("pre-analysis (s)", ("phase_secs", "pre_analysis"), lambda v: f"{v:.2f}"),
+    ("mahjong (s)", ("phase_secs", "mahjong"), lambda v: f"{v:.2f}"),
+    ("worklist pops", ("worklist_pops",), "{:,}".format),
+    ("delta objects", ("delta_objects",), "{:,}".format),
+    ("pts peak (words)", ("pts_peak_words",), "{:,}".format),
+    ("SCC-collapsed ptrs", ("scc_collapsed_ptrs",), "{:,}".format),
+    ("wave rounds", ("wave_rounds",), "{:,}".format),
+    ("threads", ("threads",), str),
+    ("par shards", ("par_shards",), "{:,}".format),
+]
+
+
+def lookup(record, path):
+    for key in path:
+        if not isinstance(record, dict) or key not in record:
+            return None
+        record = record[key]
+    return record
+
+
+def label(path: Path) -> str:
+    # BENCH_baseline_pr2.json -> "baseline_pr2", BENCH_pta.json -> "pta (current)"
+    stem = path.stem.removeprefix("BENCH_")
+    return f"{stem} (current)" if stem == "pta" else stem
+
+
+def sort_key(path: Path):
+    # Baselines in PR order first, the live BENCH_pta.json record last.
+    m = re.search(r"pr(\d+)", path.stem)
+    return (0, int(m.group(1))) if m else (1, 0)
+
+
+def render() -> str:
+    records = []
+    for path in sorted(ROOT.glob("BENCH_*.json"), key=sort_key):
+        try:
+            records.append((label(path), json.loads(path.read_text())))
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"bench_table: skipping {path.name}: {e}", file=sys.stderr)
+    if not records:
+        return "_no BENCH_*.json records committed_"
+
+    lines = []
+    meta = records[0][1]
+    workload = "{exp}@{scale}, budget {budget}s".format(
+        exp=meta.get("exp", "?"),
+        scale=meta.get("scale", "?"),
+        budget=meta.get("budget_secs", "?"),
+    )
+    lines.append(f"Workload: `{workload}` (all rows; lower is better).")
+    lines.append("")
+    lines.append("| record | " + " | ".join(h for h, _, _ in COLUMNS) + " |")
+    lines.append("|---|" + "---:|" * len(COLUMNS))
+    for name, record in records:
+        cells = []
+        for _, path, fmt in COLUMNS:
+            value = lookup(record, path)
+            cells.append("-" if value is None else fmt(value))
+        lines.append(f"| `{name}` | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help=f"rewrite the block between `{BEGIN}` and `{END}` in README.md",
+    )
+    args = parser.parse_args()
+    table = render()
+    if not args.update:
+        print(table)
+        return 0
+    readme = ROOT / "README.md"
+    text = readme.read_text()
+    if BEGIN not in text or END not in text:
+        print(f"bench_table: README.md lacks {BEGIN}/{END} markers", file=sys.stderr)
+        return 1
+    head, rest = text.split(BEGIN, 1)
+    _, tail = rest.split(END, 1)
+    readme.write_text(f"{head}{BEGIN}\n{table}\n{END}{tail}")
+    print(f"bench_table: updated {readme}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

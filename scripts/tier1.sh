@@ -3,11 +3,16 @@
 #
 #   ./scripts/tier1.sh
 #
-# Build (release), full test suite, and a warning-free clippy pass over
-# every target so solver refactors keep a clean lint baseline.
+# Build (release), full test suite, a warning-free clippy pass over
+# every target, a warning-free rustdoc build (crate docs are part of
+# the deliverable), and a `--threads 1` smoke run so the sequential
+# solver path — the default everywhere — cannot rot while development
+# happens against the parallel one.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+cargo run --release -q -p bench --bin repro -- --exp fig9 --scale 1 --threads 1

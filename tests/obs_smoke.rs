@@ -152,6 +152,7 @@ fn full_pipeline_exports_roundtrip() {
         bench::HeapKind::Mahjong,
         &prepared.mahjong.mom,
         Budget::seconds(120),
+        1,
     );
     assert!(outcome.seconds.is_some(), "scale-1 run fits its budget");
 

@@ -54,3 +54,43 @@ fn known_experiment_succeeds() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Figure 9"), "stdout: {stdout}");
 }
+
+/// The benchmark record honors `--bench-json`, refuses to clobber an
+/// existing file without `--force`, and overwrites with it. The
+/// refusal must happen *before* the experiment runs (exit is fast).
+#[test]
+fn bench_json_never_clobbers_without_force() {
+    let dir = std::env::temp_dir().join(format!("repro_cli_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bench = dir.join("BENCH_pta.json");
+    let bench_arg = bench.to_str().unwrap();
+
+    // First write: target is fresh, no --force needed.
+    let out = repro()
+        .args(["--exp", "fig9", "--scale", "1", "--bench-json", bench_arg])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let first = std::fs::read_to_string(&bench).expect("bench record written");
+    assert!(first.contains("\"exp\": \"fig9\""), "record: {first}");
+    assert!(first.contains("\"par_shards\""), "record lacks parallel counters: {first}");
+
+    // Second write without --force: refused, file untouched.
+    let out = repro()
+        .args(["--exp", "fig9", "--scale", "1", "--bench-json", bench_arg])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success(), "clobber without --force must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("refusing to overwrite"), "stderr: {stderr}");
+    assert_eq!(std::fs::read_to_string(&bench).unwrap(), first, "file was modified");
+
+    // With --force the record is replaced.
+    let out = repro()
+        .args(["--exp", "fig9", "--scale", "1", "--bench-json", bench_arg, "--force"])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,116 @@
+//! Thread-count parity for parallel wave propagation.
+//!
+//! The parallel solver (`AnalysisConfig::threads > 1`) partitions each
+//! wave's topological level into shards, propagates against a frozen
+//! snapshot, and merges contributions in pointer-id order — so any
+//! thread count must produce **bit-identical** analysis results. This
+//! test pins that on luindex@2 for `threads ∈ {1, 2, 8}` with the same
+//! canonical, interning-order-independent fingerprint used by
+//! `crates/pta/tests/set_parity.rs`, and checks that the parallel
+//! machinery actually engaged (`par_shards > 0`) when it was asked for.
+
+use pta::{
+    AllocSiteAbstraction, AnalysisConfig, AnalysisResult, CallSiteSensitive, ContextInsensitive,
+    CtxElem,
+};
+
+/// A canonical, interning-order-independent description of one abstract
+/// object (identical to the one in `set_parity.rs`).
+fn canon_obj(r: &AnalysisResult, o: pta::ObjId) -> Vec<u64> {
+    let mut out = vec![r.obj_alloc(o).index() as u64];
+    for e in r.contexts().elems(r.obj_heap_context(o)) {
+        out.push(match *e {
+            CtxElem::CallSite(s) => 1 << 32 | s.index() as u64,
+            CtxElem::Alloc(a) => 2 << 32 | a.index() as u64,
+            CtxElem::Type(c) => 3 << 32 | c.index() as u64,
+        });
+    }
+    out
+}
+
+/// Canonical fingerprint: FNV-mixed per-variable collapsed object sets
+/// plus sorted call-graph edges, and order-invariant summary counts.
+fn fingerprint(p: &jir::Program, r: &AnalysisResult) -> (u64, usize, usize, usize, usize) {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for v in (0..p.var_count()).map(jir::VarId::from_usize) {
+        let mut objs: Vec<Vec<u64>> = r
+            .points_to_collapsed(v)
+            .iter()
+            .map(|o| canon_obj(r, o))
+            .collect();
+        objs.sort_unstable();
+        objs.dedup();
+        mix(v.index() as u64 ^ 0xdead);
+        for desc in objs {
+            for w in desc {
+                mix(w);
+            }
+            mix(0xfeed);
+        }
+    }
+    let mut edges: Vec<(usize, usize)> = r
+        .call_graph_edges()
+        .map(|(s, m)| (s.index(), m.index()))
+        .collect();
+    edges.sort_unstable();
+    for (s, m) in edges {
+        mix(((s as u64) << 32) | m as u64);
+    }
+    (
+        h,
+        r.total_points_to_size() as usize,
+        r.pointer_count(),
+        r.object_count(),
+        r.call_graph_edge_count(),
+    )
+}
+
+const THREAD_COUNTS: &[usize] = &[1, 2, 8];
+
+#[test]
+fn luindex_fingerprints_identical_across_thread_counts() {
+    let w = workloads::dacapo::workload("luindex", 2);
+    let p = &w.program;
+
+    for (analysis, parallel_must_engage) in [("ci", true), ("2cs", true)] {
+        let mut golden: Option<(u64, usize, usize, usize, usize)> = None;
+        for &threads in THREAD_COUNTS {
+            let r = match analysis {
+                "ci" => AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
+                    .threads(threads)
+                    .run(p)
+                    .expect("fits budget"),
+                "2cs" => AnalysisConfig::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+                    .threads(threads)
+                    .run(p)
+                    .expect("fits budget"),
+                other => panic!("unknown analysis {other}"),
+            };
+            let fp = fingerprint(p, &r);
+            match &golden {
+                None => golden = Some(fp),
+                Some(g) => assert_eq!(
+                    fp, *g,
+                    "luindex@2/{analysis}: threads={threads} diverged from threads=1"
+                ),
+            }
+            if threads > 1 && parallel_must_engage {
+                assert!(
+                    r.stats().par_shards > 0,
+                    "luindex@2/{analysis}: threads={threads} never fanned out \
+                     (par_shards == 0) — parallel path did not engage"
+                );
+            } else {
+                assert_eq!(
+                    r.stats().par_shards,
+                    0,
+                    "luindex@2/{analysis}: sequential run reported parallel shards"
+                );
+            }
+        }
+    }
+}
