@@ -1,0 +1,246 @@
+//! Canonical forms and 128-bit signatures for deterministic sequential
+//! automata.
+//!
+//! The minimal DFA for a behaviour is unique up to state renaming
+//! (Myhill–Nerode, extended to output maps: states are distinguishable
+//! iff some word separates their output sets or their rejection
+//! behaviour). A *canonical renumbering* of the minimal automaton is
+//! therefore a **complete invariant** for behavioural equivalence:
+//!
+//! > `a.equivalent(b)`  ⇔  `a.canonical_form() == b.canonical_form()`
+//!
+//! The renumbering is a BFS from the start state that explores each
+//! state's transitions in ascending symbol order. Because the automaton
+//! is deterministic and every minimal-DFA state is reachable, the visit
+//! order — and hence the numbering — depends only on the automaton's
+//! shape, never on the arbitrary state ids it was built with.
+//!
+//! [`Dfa::signature`] hashes the canonical form into a 128-bit
+//! fingerprint ([`DfaSignature`]) with a two-lane mixer
+//! ([`fxhash::Fingerprint128`]), so equivalence testing degenerates to
+//! integer comparison and *grouping* degenerates to hash bucketing —
+//! this replaces the per-pair Hopcroft–Karp runs in the Mahjong merge
+//! phase (the callers keep Hopcroft–Karp as a debug-time collision
+//! check and a `--paranoid` verification mode; see
+//! `mahjong::merge`).
+
+use fxhash::Fingerprint128;
+
+use crate::dfa::{Dfa, DfaPartsBuilder};
+use crate::types::StateId;
+
+/// A 128-bit fingerprint of a DFA's canonical form.
+///
+/// Equal signatures mean behavioural equivalence up to hash collision;
+/// with 128 well-mixed bits, a workload would need ~2⁶⁴ distinct
+/// automata before a collision is likely (birthday bound), far beyond
+/// any heap's object count. Collisions are nonetheless *detectable*:
+/// callers grouping by signature re-check with
+/// [`Dfa::equivalent`] under `debug_assertions` or in paranoid mode.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DfaSignature(pub u128);
+
+impl std::fmt::Debug for DfaSignature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sig#{:032x}", self.0)
+    }
+}
+
+/// The BFS numbering of the reachable states of `dfa`: returns
+/// `(order, renumber)` where `order[new] = old` and
+/// `renumber[old.index()] = new` (`u32::MAX` for unreachable states,
+/// which cannot occur for minimized automata).
+fn bfs_numbering(dfa: &Dfa) -> (Vec<StateId>, Vec<u32>) {
+    let n = dfa.state_count();
+    let mut renumber = vec![u32::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    renumber[dfa.start().index()] = 0;
+    order.push(dfa.start());
+    let mut head = 0;
+    while head < order.len() {
+        let q = order[head];
+        head += 1;
+        // Transition rows are stored sorted by symbol, so the BFS
+        // explores successors in ascending-symbol order — structural,
+        // not id-dependent.
+        for (_, to) in dfa.transitions_of(q) {
+            if renumber[to.index()] == u32::MAX {
+                renumber[to.index()] = order.len() as u32;
+                order.push(to);
+            }
+        }
+    }
+    (order, renumber)
+}
+
+impl Dfa {
+    /// Returns the canonical form: the minimal DFA with states
+    /// renumbered in BFS order from the start state (transitions
+    /// explored in ascending symbol order).
+    ///
+    /// Two DFAs are [`equivalent`](Dfa::equivalent) **iff** their
+    /// canonical forms are structurally equal (`==`). Prefer
+    /// [`Dfa::signature`] when only an equivalence key is needed.
+    pub fn canonical_form(&self) -> Dfa {
+        let m = self.minimize();
+        let (order, renumber) = bfs_numbering(&m);
+        let mut b = DfaPartsBuilder::default();
+        for &old in &order {
+            b.add_state(m.output_set(old).to_vec());
+        }
+        for (new, &old) in order.iter().enumerate() {
+            for (sym, to) in m.transitions_of(old) {
+                b.add_transition(
+                    StateId(new as u32),
+                    sym,
+                    StateId(renumber[to.index()]),
+                );
+            }
+        }
+        b.finish(StateId(0))
+    }
+
+    /// Returns the 128-bit signature of the canonical form.
+    ///
+    /// Equal behaviour ⇒ equal signature (exactly); equal signature ⇒
+    /// equal behaviour up to a 128-bit hash collision. The encoding is
+    /// injective on canonical forms: every state contributes its
+    /// length-prefixed output set and length-prefixed transition row
+    /// (in ascending symbol order, targets renumbered), so distinct
+    /// canonical automata produce distinct input streams to the hash.
+    pub fn signature(&self) -> DfaSignature {
+        let m = self.minimize();
+        let (order, renumber) = bfs_numbering(&m);
+        let mut fp = Fingerprint128::new();
+        fp.write_u64(order.len() as u64);
+        for &old in &order {
+            let outs = m.output_set(old);
+            fp.write_u64(outs.len() as u64);
+            for &o in outs {
+                fp.write_u32(o.0);
+            }
+            let row_len = m.transitions_of(old).count();
+            fp.write_u64(row_len as u64);
+            for (sym, to) in m.transitions_of(old) {
+                fp.write_u32(sym.0);
+                fp.write_u32(renumber[to.index()]);
+            }
+        }
+        DfaSignature(fp.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Output, Symbol};
+    use crate::NfaBuilder;
+
+    fn chain(outs: &[&[u32]]) -> Dfa {
+        let mut b = DfaPartsBuilder::default();
+        let states: Vec<StateId> = outs
+            .iter()
+            .map(|o| b.add_state(o.iter().map(|&x| Output(x)).collect()))
+            .collect();
+        for w in states.windows(2) {
+            b.add_transition(w[0], Symbol(0), w[1]);
+        }
+        b.finish(states[0])
+    }
+
+    #[test]
+    fn equivalent_dfas_share_signature() {
+        // A self loop and its two-state unrolling.
+        let mut b1 = DfaPartsBuilder::default();
+        let p0 = b1.add_state(vec![Output(5)]);
+        b1.add_transition(p0, Symbol(0), p0);
+        let a = b1.finish(p0);
+
+        let mut b2 = DfaPartsBuilder::default();
+        let q0 = b2.add_state(vec![Output(5)]);
+        let q1 = b2.add_state(vec![Output(5)]);
+        b2.add_transition(q0, Symbol(0), q1);
+        b2.add_transition(q1, Symbol(0), q0);
+        let b = b2.finish(q0);
+
+        assert!(a.equivalent(&b));
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.canonical_form(), b.canonical_form());
+    }
+
+    #[test]
+    fn inequivalent_dfas_differ() {
+        let a = chain(&[&[0], &[1]]);
+        let b = chain(&[&[0], &[2]]);
+        let c = chain(&[&[0], &[1], &[1]]);
+        assert_ne!(a.signature(), b.signature());
+        assert_ne!(a.signature(), c.signature(), "length must matter");
+        assert_ne!(a.canonical_form(), b.canonical_form());
+    }
+
+    #[test]
+    fn state_id_permutation_is_invisible() {
+        // The same automaton built with two different insertion orders.
+        let mut b1 = DfaPartsBuilder::default();
+        let x0 = b1.add_state(vec![Output(0)]);
+        let x1 = b1.add_state(vec![Output(1)]);
+        let x2 = b1.add_state(vec![Output(2)]);
+        b1.add_transition(x0, Symbol(3), x1);
+        b1.add_transition(x0, Symbol(7), x2);
+        let a = b1.finish(x0);
+
+        let mut b2 = DfaPartsBuilder::default();
+        let y2 = b2.add_state(vec![Output(2)]);
+        let y1 = b2.add_state(vec![Output(1)]);
+        let y0 = b2.add_state(vec![Output(0)]);
+        b2.add_transition(y0, Symbol(7), y2);
+        b2.add_transition(y0, Symbol(3), y1);
+        let b = b2.finish(y0);
+
+        assert_eq!(a.signature(), b.signature());
+        assert_eq!(a.canonical_form(), b.canonical_form());
+    }
+
+    #[test]
+    fn output_sets_feed_the_signature() {
+        let a = chain(&[&[0], &[1, 2]]);
+        let b = chain(&[&[0], &[1]]);
+        assert_ne!(a.signature(), b.signature());
+        let c = chain(&[&[0], &[1, 2]]);
+        assert_eq!(a.signature(), c.signature());
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent_and_minimal() {
+        let a = chain(&[&[0], &[1], &[1], &[2]]);
+        let c = a.canonical_form();
+        assert!(a.equivalent(&c));
+        assert_eq!(c.canonical_form(), c, "canonical form is a fixpoint");
+        assert_eq!(c.state_count(), a.minimize().state_count());
+        assert_eq!(c.start(), StateId(0), "BFS numbering starts at 0");
+    }
+
+    #[test]
+    fn determinized_nfas_canonicalize_consistently() {
+        // Two nondeterministic presentations of the same behaviour.
+        let mut b = NfaBuilder::new();
+        let t = b.add_state(Output(0));
+        let u = b.add_state(Output(1));
+        let y1 = b.add_state(Output(2));
+        let y2 = b.add_state(Output(2));
+        b.add_transition(t, Symbol(0), u);
+        b.add_transition(u, Symbol(1), y1);
+        b.add_transition(u, Symbol(1), y2);
+        let a1 = b.finish(t).to_dfa();
+
+        let mut b = NfaBuilder::new();
+        let t = b.add_state(Output(0));
+        let u = b.add_state(Output(1));
+        let y = b.add_state(Output(2));
+        b.add_transition(t, Symbol(0), u);
+        b.add_transition(u, Symbol(1), y);
+        let a2 = b.finish(t).to_dfa();
+
+        assert_eq!(a1.signature(), a2.signature());
+    }
+}

@@ -4,6 +4,7 @@
 use std::collections::BTreeSet;
 
 use dsu::DisjointSets;
+use fxhash::{FxHashMap, FxHashSet};
 
 use crate::types::{Behavior, Output, StateId, Symbol};
 
@@ -63,6 +64,16 @@ impl Dfa {
     /// Panics if `q` is out of bounds.
     pub fn symbols_of(&self, q: StateId) -> impl Iterator<Item = Symbol> + '_ {
         self.transitions[q.index()].iter().map(|&(s, _)| s)
+    }
+
+    /// Returns the transition row of `q` as `(symbol, successor)` pairs
+    /// in ascending symbol order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of bounds.
+    pub fn transitions_of(&self, q: StateId) -> impl ExactSizeIterator<Item = (Symbol, StateId)> + '_ {
+        self.transitions[q.index()].iter().copied()
     }
 
     /// Returns the automaton's alphabet Σ.
@@ -196,8 +207,7 @@ impl Dfa {
         // most `n` rounds run.
         let mut block_count = block_of.iter().copied().max().map_or(0, |m| m + 1);
         loop {
-            let mut sig_to_block: std::collections::HashMap<Vec<usize>, usize> =
-                std::collections::HashMap::new();
+            let mut sig_to_block: FxHashMap<Vec<usize>, usize> = FxHashMap::default();
             let mut new_block_of = vec![0; n];
             for q in 0..n {
                 // Signature: (current block, successor block per symbol).
@@ -222,10 +232,8 @@ impl Dfa {
 
         // Build the quotient automaton over blocks reachable from start.
         let mut builder = DfaPartsBuilder::default();
-        let mut block_state: std::collections::HashMap<usize, StateId> =
-            std::collections::HashMap::new();
-        let mut rep_of_block: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        let mut block_state: FxHashMap<usize, StateId> = FxHashMap::default();
+        let mut rep_of_block: FxHashMap<usize, usize> = FxHashMap::default();
         for (q, &block) in block_of.iter().enumerate() {
             rep_of_block.entry(block).or_insert(q);
         }
@@ -241,7 +249,7 @@ impl Dfa {
         };
         let start_state = get_state(&mut builder, start_block);
         let mut worklist = vec![start_block];
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = FxHashSet::default();
         seen.insert(start_block);
         while let Some(block) = worklist.pop() {
             let rep = rep_of_block[&block];

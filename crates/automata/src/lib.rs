@@ -17,6 +17,10 @@
 //!   sink for missing transitions;
 //! - [`Dfa::minimize`]: Moore partition-refinement minimization, used as
 //!   an independent test oracle;
+//! - [`Dfa::canonical_form`] / [`Dfa::signature`]: the canonical
+//!   renumbering of the minimal DFA and its 128-bit fingerprint
+//!   ([`DfaSignature`]) — equivalence testing by signature equality,
+//!   the fast path of the Mahjong merge phase;
 //! - [`Behavior`]: the β function — the output set an automaton
 //!   produces on one input word.
 //!
@@ -54,10 +58,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod canon;
 mod dfa;
 mod nfa;
 mod types;
 
+pub use canon::DfaSignature;
 pub use dfa::{Dfa, DfaPartsBuilder};
 pub use nfa::{Nfa, NfaBuilder};
 pub use types::{Behavior, Output, StateId, Symbol};

@@ -1,6 +1,8 @@
 //! Nondeterministic 6-tuple sequential automata.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use fxhash::FxHashMap;
 
 use crate::types::{Behavior, Output, StateId, Symbol};
 
@@ -115,7 +117,7 @@ impl Nfa {
     /// same for single-type states).
     pub fn to_dfa(&self) -> crate::dfa::Dfa {
         let mut builder = crate::dfa::DfaPartsBuilder::default();
-        let mut index_of: HashMap<Vec<StateId>, StateId> = HashMap::new();
+        let mut index_of: FxHashMap<Vec<StateId>, StateId> = FxHashMap::default();
         let start_set = vec![self.start];
         let start = builder.add_state(self.output_set(&start_set));
         index_of.insert(start_set.clone(), start);

@@ -1,6 +1,11 @@
-//! Micro-bench for the automata substrate: NFA→DFA subset construction
-//! and Hopcroft–Karp equivalence (the "almost linear time" claim of
-//! paper Section 2.2.2), on chains and layered graphs of growing size.
+//! Micro-bench for the automata substrate: NFA→DFA subset construction,
+//! Hopcroft–Karp equivalence (the "almost linear time" claim of
+//! paper Section 2.2.2), and the canonical signature that replaced
+//! pairwise HK in the merge phase (DESIGN.md §11), on chains and
+//! layered graphs of growing size. `signature/canonicalize` vs.
+//! `hopcroft_karp/equivalent_chains` at the same `n` shows the
+//! per-automaton cost trade: one canonicalization replaces *every* HK
+//! query the automaton would have participated in.
 
 use automata::{Dfa, NfaBuilder, Output, Symbol};
 use bench::timing;
@@ -53,6 +58,13 @@ fn main() {
         let nfa = layered_nfa(n, 3);
         timing::bench(&format!("subset_construction/to_dfa/{n}"), || {
             nfa.to_dfa().state_count()
+        });
+    }
+    for n in [64usize, 256, 1024, 4096] {
+        let a = chain(n, 0);
+        let b = chain(n, 0);
+        timing::bench(&format!("signature/canonicalize/{n}"), || {
+            assert_eq!(a.signature(), b.signature())
         });
     }
 }

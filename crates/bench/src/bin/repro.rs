@@ -19,8 +19,9 @@
 //! telemetry registry as JSON-Lines and `--trace` writes a Chrome
 //! `trace_event` file (load it in `about:tracing` or Perfetto). The
 //! benchmark record lands at `--bench-json PATH` when given, otherwise
-//! as `BENCH_pta.json` next to the `--metrics-json` file; an existing
-//! record is never overwritten unless `--force` is passed. `--exp all`
+//! as `BENCH_pta.json` next to the `--metrics-json` file; a Mahjong
+//! phase record (`BENCH_mahjong.json`) is written as a sibling. An
+//! existing record is never overwritten unless `--force` is passed. `--exp all`
 //! additionally prints a per-experiment phase-time summary
 //! (pre-analysis vs. Mahjong vs. the main analysis). Set
 //! `OBS_DISABLE=1` to turn recording into no-ops.
@@ -188,6 +189,16 @@ fn main() {
         }
         write_or_die(bench, &bench_pta_json(&args));
         eprintln!("repro: wrote {bench}");
+        // The Mahjong-phase record rides along as a sibling file with
+        // the same no-clobber semantics (but skipping, not aborting —
+        // the main record is already on disk at this point).
+        let mahjong = bench_mahjong_path(bench);
+        if !args.force && std::path::Path::new(&mahjong).exists() {
+            eprintln!("repro: keeping existing {mahjong} (pass --force to replace it)");
+        } else {
+            write_or_die(&mahjong, &bench_mahjong_json(&args));
+            eprintln!("repro: wrote {mahjong}");
+        }
     }
     if let Some(path) = &args.trace {
         write_or_die(path, &obs::export_chrome_trace());
@@ -235,6 +246,55 @@ fn bench_pta_json(args: &Args) -> String {
         obs::counter("pta.par_shards").get(),
         obs::counter("pta.par_steal_none").get(),
         obs::counter("pta.wave_barrier_ns").get(),
+    )
+}
+
+/// The Mahjong benchmark record lands next to the pta record:
+/// `BENCH_pta.json` → `BENCH_mahjong.json`, and any other
+/// `BENCH_<label>.json` → `BENCH_mahjong_<label>.json` (the pairing
+/// `scripts/bench_table.py` reassembles).
+fn bench_mahjong_path(bench_path: &str) -> String {
+    let p = std::path::Path::new(bench_path);
+    let name = p
+        .file_name()
+        .and_then(|s| s.to_str())
+        .unwrap_or("BENCH_pta.json");
+    let sibling = if name == "BENCH_pta.json" {
+        "BENCH_mahjong.json".to_owned()
+    } else if let Some(rest) = name.strip_prefix("BENCH_") {
+        format!("BENCH_mahjong_{rest}")
+    } else {
+        format!("mahjong_{name}")
+    };
+    p.with_file_name(sibling).to_string_lossy().into_owned()
+}
+
+/// The Mahjong pre-analysis record: per-phase wall-clock plus the
+/// signature-pipeline counters (`hk_runs` is 0 on the fast path).
+fn bench_mahjong_json(args: &Args) -> String {
+    let r = obs::registry();
+    let phase = |name: &str| r.phase_time(name).as_secs_f64();
+    format!(
+        "{{\n  \"exp\": \"{}\",\n  \"scale\": {},\n  \"threads\": {},\n  \
+         \"phase_secs\": {{\n    \"fpg_build\": {:.6},\n    \"automata_build\": {:.6},\n    \
+         \"equivalence_check\": {:.6}\n  }},\n  \
+         \"objects\": {},\n  \"merged_objects\": {},\n  \"not_single_type\": {},\n  \
+         \"dfa_built\": {},\n  \"sig_buckets\": {},\n  \"hk_runs\": {},\n  \
+         \"canon_ns\": {},\n  \"shard_skew\": {}\n}}\n",
+        args.exp,
+        args.scale,
+        args.threads,
+        phase("mahjong.fpg_build"),
+        phase("mahjong.automata_build"),
+        phase("mahjong.equivalence_check"),
+        obs::counter("mahjong.objects").get(),
+        obs::counter("mahjong.merged_objects").get(),
+        obs::counter("mahjong.not_single_type").get(),
+        obs::counter("mahjong.dfa_built").get(),
+        obs::counter("mahjong.sig_buckets").get(),
+        obs::counter("mahjong.hk_runs").get(),
+        obs::counter("mahjong.canon_ns").get(),
+        obs::gauge("mahjong.shard_skew").get(),
     )
 }
 

@@ -3,12 +3,15 @@
 //!
 //! ```text
 //! mahjong-cli program.jir [--no-condition2] [--no-null] [--threads N] [--largest-repr]
-//!             [--budget SECS] [--metrics-json PATH] [--trace PATH]
+//!             [--paranoid] [--budget SECS] [--metrics-json PATH] [--trace PATH]
 //! ```
 //!
 //! `--threads` shards both pipeline stages: the pre-analysis solver's
-//! parallel wave propagation and Mahjong's type-consistency checks
-//! (results are bit-identical for any count). `--metrics-json` writes
+//! parallel wave propagation and Mahjong's automaton construction
+//! (results are bit-identical for any count). `--paranoid` re-verifies
+//! every signature-directed merge with Hopcroft–Karp (the runs appear
+//! in the `mahjong.hk_runs` counter, which is 0 on the default fast
+//! path). `--metrics-json` writes
 //! the telemetry registry as JSON-Lines and `--trace` writes a Chrome
 //! `trace_event` file (open in `about:tracing` / Perfetto). Set
 //! `OBS_DISABLE=1` to turn all recording into no-ops.
@@ -32,6 +35,7 @@ fn main() {
             "--no-condition2" => config.enforce_condition2 = false,
             "--no-null" => config.model_null = false,
             "--largest-repr" => config.representative = Representative::Largest,
+            "--paranoid" => config.paranoid = true,
             "--threads" => {
                 config.threads = args
                     .next()
@@ -55,8 +59,8 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: mahjong-cli <program.jir> [--no-condition2] [--no-null] \
-                     [--threads N] [--largest-repr] [--budget SECS] [--metrics-json PATH] \
-                     [--trace PATH]"
+                     [--threads N] [--largest-repr] [--paranoid] [--budget SECS] \
+                     [--metrics-json PATH] [--trace PATH]"
                 );
                 return;
             }

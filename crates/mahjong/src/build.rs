@@ -7,12 +7,21 @@
 //! the FPG itself. We therefore never materialize per-object NFAs in the
 //! hot path — subset construction runs straight over FPG adjacency — and
 //! keep [`nfa_for_root`] only as an explicit-materialization reference
-//! used by tests to cross-validate [`dfa_for_root`].
+//! used by tests to cross-validate the construction.
+//!
+//! Sharing goes one level further than the paper spells out: the subset
+//! construction itself is memoized in a [`SubsetCtx`]. DFA states are
+//! *sets of FPG nodes*, and same-type objects overwhelmingly reach the
+//! same node sets (that is exactly why they merge). The context interns
+//! every state-set once, caches its output set, and caches its
+//! transition row — the `(field, successor-set)` list — so when the
+//! hundredth `HashMap` object walks the same entry/value sub-automaton,
+//! the successor sets and their outputs come from the cache instead of
+//! being recomputed from FPG adjacency.
 
-use std::collections::HashMap;
-
-use automata::{Dfa, DfaPartsBuilder, Nfa, NfaBuilder, Output, Symbol};
-use jir::AllocId;
+use automata::{Dfa, DfaPartsBuilder, Nfa, NfaBuilder, Output, StateId, Symbol};
+use fxhash::FxHashMap;
+use jir::{AllocId, FieldId};
 
 use crate::fpg::{FieldPointsToGraph, FpgNode, NodeType};
 
@@ -37,7 +46,7 @@ pub fn output_of(fpg: &FieldPointsToGraph, node: FpgNode) -> Output {
 pub fn nfa_for_root(fpg: &FieldPointsToGraph, root: AllocId) -> Nfa {
     let nodes = fpg.reachable_from(FpgNode::Alloc(root));
     let mut builder = NfaBuilder::new();
-    let mut state_of: HashMap<FpgNode, automata::StateId> = HashMap::new();
+    let mut state_of: FxHashMap<FpgNode, StateId> = FxHashMap::default();
     for &node in &nodes {
         let s = builder.add_state(output_of(fpg, node));
         state_of.insert(node, s);
@@ -78,82 +87,188 @@ pub struct BuildStats {
     pub dfa_states: usize,
 }
 
-/// Subset construction from `root` over the shared FPG (Algorithm 3)
-/// fused with SINGLETYPE-CHECK (Algorithm 1, lines 6–7): bails out as
-/// soon as a constructed state mixes two output types.
+/// An interned NFA state-set, identified by insertion order.
+type SetId = u32;
+
+/// A memoized subset-construction context over one FPG.
 ///
-/// When `enforce_single_type` is `false` (the Condition-2 ablation),
-/// construction always completes and states may carry output sets.
+/// Interns the NFA state-sets (sorted, deduplicated `FpgNode` slices)
+/// that subset construction discovers, together with two per-set caches:
+///
+/// - the set's **output set** (the types of its members), and
+/// - the set's **transition row**: the `(field, successor-set)` pairs,
+///   computed lazily on first visit and shared by every later root that
+///   reaches the same set.
+///
+/// Structurally identical sub-automata — ubiquitous within a type group,
+/// since that is precisely what makes objects equivalent — are thereby
+/// built once per context rather than once per object. One context is
+/// used per merge shard; contexts are cheap (a few maps) and never
+/// shared across threads.
+#[derive(Debug)]
+pub struct SubsetCtx<'g> {
+    fpg: &'g FieldPointsToGraph,
+    index_of: FxHashMap<Box<[FpgNode]>, SetId>,
+    sets: Vec<Box<[FpgNode]>>,
+    outputs: Vec<Vec<Output>>,
+    rows: Vec<Option<TransitionRow>>,
+    row_hits: u64,
+    row_misses: u64,
+}
+
+/// A cached transition row: the `(field, successor-set)` pairs of one
+/// interned state-set, in ascending field order.
+type TransitionRow = Box<[(FieldId, SetId)]>;
+
+impl<'g> SubsetCtx<'g> {
+    /// Creates an empty context over `fpg`.
+    pub fn new(fpg: &'g FieldPointsToGraph) -> Self {
+        SubsetCtx {
+            fpg,
+            index_of: FxHashMap::default(),
+            sets: Vec::new(),
+            outputs: Vec::new(),
+            rows: Vec::new(),
+            row_hits: 0,
+            row_misses: 0,
+        }
+    }
+
+    /// Interns a sorted, deduplicated state-set, returning its id.
+    fn intern(&mut self, set: Vec<FpgNode>) -> SetId {
+        debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set not sorted");
+        if let Some(&id) = self.index_of.get(set.as_slice()) {
+            return id;
+        }
+        let id = SetId::try_from(self.sets.len()).expect("too many interned sets");
+        let boxed: Box<[FpgNode]> = set.into_boxed_slice();
+        let mut outs: Vec<Output> =
+            boxed.iter().map(|&n| output_of(self.fpg, n)).collect();
+        outs.sort_unstable();
+        outs.dedup();
+        self.index_of.insert(boxed.clone(), id);
+        self.sets.push(boxed);
+        self.outputs.push(outs);
+        self.rows.push(None);
+        id
+    }
+
+    /// Returns the cached output set γ'(set).
+    fn outputs(&self, id: SetId) -> &[Output] {
+        &self.outputs[id as usize]
+    }
+
+    /// Ensures the transition row of `id` is computed, returning it.
+    ///
+    /// The row lists `(field, successor-set)` in ascending field order,
+    /// skipping fields with no successors (they lead to `q_error`).
+    fn row(&mut self, id: SetId) -> &[(FieldId, SetId)] {
+        if self.rows[id as usize].is_some() {
+            self.row_hits += 1;
+        } else {
+            self.row_misses += 1;
+            let members = self.sets[id as usize].clone();
+            let mut fields: Vec<FieldId> = Vec::new();
+            for &node in members.iter() {
+                fields.extend(self.fpg.fields_of(node));
+            }
+            // Null self-loops: if null is a member, it follows every
+            // field the other members follow (a field no member defines
+            // leads to q_error anyway; a set whose only member is null
+            // keeps looping on the fields that got us there — we
+            // conservatively use the union of fields present).
+            fields.sort_unstable();
+            fields.dedup();
+            let mut row = Vec::with_capacity(fields.len());
+            for field in fields {
+                let mut next: Vec<FpgNode> = Vec::new();
+                for &node in members.iter() {
+                    next.extend(self.fpg.successors(node, field));
+                }
+                next.sort_unstable();
+                next.dedup();
+                if next.is_empty() {
+                    continue;
+                }
+                row.push((field, self.intern(next)));
+            }
+            self.rows[id as usize] = Some(row.into_boxed_slice());
+        }
+        self.rows[id as usize].as_deref().expect("row just ensured")
+    }
+
+    /// Number of distinct state-sets interned so far.
+    pub fn interned_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `(hits, misses)` of the transition-row cache: a hit means a whole
+    /// successor computation was reused from an earlier root.
+    pub fn row_cache(&self) -> (u64, u64) {
+        (self.row_hits, self.row_misses)
+    }
+
+    /// Subset construction from `root` over the shared FPG
+    /// (Algorithm 3) fused with SINGLETYPE-CHECK (Algorithm 1,
+    /// lines 6–7): bails out as soon as a constructed state mixes two
+    /// output types.
+    ///
+    /// When `enforce_single_type` is `false` (the Condition-2 ablation),
+    /// construction always completes and states may carry output sets.
+    pub fn dfa_for_root(
+        &mut self,
+        root: AllocId,
+        enforce_single_type: bool,
+    ) -> (RootAutomaton, BuildStats) {
+        let mut stats = BuildStats {
+            nfa_states: self.fpg.reachable_from(FpgNode::Alloc(root)).len(),
+            ..BuildStats::default()
+        };
+
+        let mut builder = DfaPartsBuilder::default();
+        let start_id = self.intern(vec![FpgNode::Alloc(root)]);
+        let mut state_of: FxHashMap<SetId, StateId> = FxHashMap::default();
+        let start = builder.add_state(self.outputs(start_id).to_vec());
+        state_of.insert(start_id, start);
+        stats.dfa_states = 1;
+        let mut worklist = vec![(start, start_id)];
+
+        while let Some((dq, sid)) = worklist.pop() {
+            // Small copy to release the borrow on the row cache; rows
+            // are a handful of entries (one per field of the set).
+            let row: Vec<(FieldId, SetId)> = self.row(sid).to_vec();
+            for (field, succ) in row {
+                let target = match state_of.get(&succ) {
+                    Some(&t) => t,
+                    None => {
+                        let outputs = self.outputs(succ);
+                        if enforce_single_type && outputs.len() > 1 {
+                            return (RootAutomaton::NotSingleType, stats);
+                        }
+                        let t = builder.add_state(outputs.to_vec());
+                        stats.dfa_states += 1;
+                        state_of.insert(succ, t);
+                        worklist.push((t, succ));
+                        t
+                    }
+                };
+                builder.add_transition(dq, Symbol(field.as_u32()), target);
+            }
+        }
+        (RootAutomaton::Dfa(builder.finish(start)), stats)
+    }
+}
+
+/// One-shot subset construction: [`SubsetCtx::dfa_for_root`] with a
+/// fresh, throwaway context. The pipeline batches many roots through a
+/// shared context instead; this entry point serves tests and callers
+/// that build a single automaton.
 pub fn dfa_for_root(
     fpg: &FieldPointsToGraph,
     root: AllocId,
     enforce_single_type: bool,
 ) -> (RootAutomaton, BuildStats) {
-    let mut stats = BuildStats {
-        nfa_states: fpg.reachable_from(FpgNode::Alloc(root)).len(),
-        ..BuildStats::default()
-    };
-
-    let mut builder = DfaPartsBuilder::default();
-    let mut index_of: HashMap<Vec<FpgNode>, automata::StateId> = HashMap::new();
-
-    let start_set = vec![FpgNode::Alloc(root)];
-    let start_outputs = outputs_of_set(fpg, &start_set);
-    let start = builder.add_state(start_outputs);
-    index_of.insert(start_set.clone(), start);
-    let mut worklist = vec![(start, start_set)];
-    stats.dfa_states = 1;
-
-    while let Some((dq, set)) = worklist.pop() {
-        // Union of the member nodes' outgoing fields. Under the
-        // single-type invariant this matches the paper's "pick any
-        // object and use its fields" specialization.
-        let mut fields: Vec<jir::FieldId> = Vec::new();
-        for &node in &set {
-            fields.extend(fpg.fields_of(node));
-        }
-        // Null self-loops: if null is a member, it follows every field
-        // the other members follow (and nothing more matters, because a
-        // field no member defines leads to q_error anyway — a set whose
-        // only member is null keeps looping on the fields that got us
-        // there; we conservatively use the union of fields present).
-        fields.sort_unstable();
-        fields.dedup();
-        for field in fields {
-            let mut next: Vec<FpgNode> = Vec::new();
-            for &node in &set {
-                next.extend(fpg.successors(node, field));
-            }
-            next.sort_unstable();
-            next.dedup();
-            if next.is_empty() {
-                continue;
-            }
-            let target = match index_of.get(&next) {
-                Some(&t) => t,
-                None => {
-                    let outputs = outputs_of_set(fpg, &next);
-                    if enforce_single_type && outputs.len() > 1 {
-                        return (RootAutomaton::NotSingleType, stats);
-                    }
-                    let t = builder.add_state(outputs);
-                    stats.dfa_states += 1;
-                    index_of.insert(next.clone(), t);
-                    worklist.push((t, next));
-                    t
-                }
-            };
-            builder.add_transition(dq, Symbol(field.as_u32()), target);
-        }
-    }
-    (RootAutomaton::Dfa(builder.finish(start)), stats)
-}
-
-fn outputs_of_set(fpg: &FieldPointsToGraph, set: &[FpgNode]) -> Vec<Output> {
-    let mut outs: Vec<Output> = set.iter().map(|&n| output_of(fpg, n)).collect();
-    outs.sort_unstable();
-    outs.dedup();
-    outs
+    SubsetCtx::new(fpg).dfa_for_root(root, enforce_single_type)
 }
 
 #[cfg(test)]
@@ -206,6 +321,7 @@ mod tests {
             panic!("both roots are single-type");
         };
         assert!(d1.equivalent(&d2), "o1 ≡ o2 (paper Example 2.6)");
+        assert_eq!(d1.signature(), d2.signature(), "signatures agree too");
         assert_eq!(s1.nfa_states, 6); // o1, o3, o5, o7, o9, o11
         assert_eq!(s2.nfa_states, 4); // o2, o4, o6, o8
     }
@@ -221,6 +337,65 @@ mod tests {
             let via_nfa = nfa_for_root(&fpg, root).to_dfa();
             assert!(direct.equivalent(&via_nfa), "shared-FPG construction agrees");
         }
+    }
+
+    #[test]
+    fn shared_ctx_matches_fresh_ctx_and_reuses_rows() {
+        let (fpg, o1, o2) = figure2();
+        let mut ctx = SubsetCtx::new(&fpg);
+        let (a1, s1) = ctx.dfa_for_root(o1, true);
+        let (a2, s2) = ctx.dfa_for_root(o2, true);
+        let (f1, t1) = dfa_for_root(&fpg, o1, true);
+        let (f2, t2) = dfa_for_root(&fpg, o2, true);
+        let (
+            RootAutomaton::Dfa(a1),
+            RootAutomaton::Dfa(a2),
+            RootAutomaton::Dfa(f1),
+            RootAutomaton::Dfa(f2),
+        ) = (a1, a2, f1, f2)
+        else {
+            panic!("all single-type");
+        };
+        assert_eq!(a1, f1, "shared context is invisible to the result");
+        assert_eq!(a2, f2);
+        assert_eq!(s1.dfa_states, t1.dfa_states);
+        assert_eq!(s2.dfa_states, t2.dfa_states);
+        assert!(ctx.interned_sets() >= 4);
+    }
+
+    #[test]
+    fn shared_substructure_hits_the_row_cache() {
+        // Two roots storing the *same* payload object: the second build
+        // reuses the payload's interned set and its transition row.
+        let mut b = FpgBuilder::new();
+        let t = b.ty("T");
+        let u = b.ty("U");
+        let v = b.ty("V");
+        let f = b.field("f");
+        let g = b.field("g");
+        let r1 = b.alloc(t);
+        let r2 = b.alloc(t);
+        let shared = b.alloc(u);
+        let leaf = b.alloc(v);
+        b.edge(r1, f, shared);
+        b.edge(r2, f, shared);
+        b.edge(shared, g, leaf);
+        let fpg = b.finish();
+        let mut ctx = SubsetCtx::new(&fpg);
+        let (a1, _) = ctx.dfa_for_root(r1, true);
+        let (hits_before, _) = ctx.row_cache();
+        let (a2, _) = ctx.dfa_for_root(r2, true);
+        let (hits_after, misses) = ctx.row_cache();
+        assert!(
+            hits_after > hits_before,
+            "second root must reuse the shared payload's transition row"
+        );
+        assert!(misses > 0);
+        let (RootAutomaton::Dfa(a1), RootAutomaton::Dfa(a2)) = (a1, a2) else {
+            panic!("single-type");
+        };
+        assert!(a1.equivalent(&a2));
+        assert_eq!(a1.signature(), a2.signature());
     }
 
     #[test]
@@ -264,6 +439,7 @@ mod tests {
             panic!()
         };
         assert!(!d1.equivalent(&d2), "null-field object must stay separate");
+        assert_ne!(d1.signature(), d2.signature());
     }
 
     #[test]
@@ -284,5 +460,6 @@ mod tests {
             panic!()
         };
         assert!(d.equivalent(&d2));
+        assert_eq!(d.signature(), d2.signature());
     }
 }

@@ -21,8 +21,13 @@
 //! 2. per object, the NFA builder + DFA converter (Algorithms 2–3,
 //!    [`build`] module) produce a deterministic automaton, bailing out on
 //!    objects that fail SINGLETYPE-CHECK (Condition 2);
-//! 3. the equivalence checker (Algorithm 4, [`automata::Dfa::equivalent`])
-//!    decides type-consistency per same-type pair;
+//! 3. each automaton is canonicalized once
+//!    ([`automata::Dfa::signature`]: minimization + BFS renumbering +
+//!    128-bit fingerprint), so type-consistency is decided by signature
+//!    equality instead of the paper's per-pair Hopcroft–Karp runs (the
+//!    pairwise pipeline survives as
+//!    [`merge_equivalent_objects_pairwise`], the verification oracle,
+//!    and as the [`MahjongConfig::paranoid`] runtime check);
 //! 4. the heap modeler (Algorithm 1, [`merge_equivalent_objects`])
 //!    produces the merged object map ([`pta::MergedObjectMap`]) that any
 //!    allocation-site-based points-to analysis can drop in.
@@ -79,7 +84,8 @@ pub mod partition;
 
 pub use fpg::{FieldPointsToGraph, FpgBuilder, FpgNode, NodeType};
 pub use merge::{
-    merge_equivalent_objects, MahjongConfig, MahjongOutput, MahjongStats, Representative,
+    merge_equivalent_objects, merge_equivalent_objects_pairwise, MahjongConfig, MahjongOutput,
+    MahjongStats, Representative,
 };
 pub use partition::HeapPartition;
 

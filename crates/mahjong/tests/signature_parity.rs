@@ -1,0 +1,154 @@
+//! Property test: on randomized field points-to graphs, the canonical
+//! signature fast path produces **exactly** the merged-object map the
+//! pairwise Hopcroft–Karp oracle produces.
+//!
+//! This is the end-to-end check of the canonicalization argument
+//! (DESIGN.md §11): minimal-DFA uniqueness makes the BFS-canonical
+//! signature a complete invariant for behavioural equivalence, so
+//! bucket-by-signature and compare-all-pairs compute the same partition
+//! of every type group — on adversarial shapes (cycles, nulls,
+//! single-type failures, shared substructure), not just the paper's
+//! figures.
+
+use jir::AllocId;
+use mahjong::{
+    merge_equivalent_objects, merge_equivalent_objects_pairwise, FpgBuilder, MahjongConfig,
+};
+
+/// SplitMix64 — tiny, deterministic, and statistically fine for test
+/// generation (Steele et al., OOPSLA 2014).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n`.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// True with probability `num/den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next() % den < num
+    }
+}
+
+/// Builds a random FPG: a handful of types and fields, dozens of
+/// objects, random edges (including occasional null edges). Types and
+/// fields are kept few so same-type groups and genuine equivalences are
+/// common; edge randomness still produces single-type failures, cycles,
+/// and shared substructure.
+fn random_fpg(seed: u64) -> mahjong::FieldPointsToGraph {
+    random_fpg_sized(seed, 8)
+}
+
+fn random_fpg_sized(seed: u64, base_allocs: usize) -> mahjong::FieldPointsToGraph {
+    let mut rng = SplitMix64(seed);
+    let mut b = FpgBuilder::new();
+
+    let n_types = 2 + rng.below(4); // 2..=5
+    let n_fields = 1 + rng.below(3); // 1..=3
+    let n_allocs = base_allocs + rng.below(25);
+
+    let types: Vec<_> = (0..n_types).map(|i| b.ty(&format!("T{i}"))).collect();
+    let fields: Vec<_> = (0..n_fields).map(|i| b.field(&format!("f{i}"))).collect();
+    let allocs: Vec<AllocId> = (0..n_allocs)
+        .map(|_| b.alloc(types[rng.below(n_types)]))
+        .collect();
+
+    for &from in &allocs {
+        for &field in &fields {
+            // ~55% of (object, field) slots are populated; of those, a
+            // few are null edges and a few fan out to two targets
+            // (creating subset-construction work and SINGLETYPE
+            // failures when the targets' types differ).
+            if !rng.chance(11, 20) {
+                continue;
+            }
+            if rng.chance(1, 8) {
+                b.null_edge(from, field);
+            } else {
+                b.edge(from, field, allocs[rng.below(n_allocs)]);
+                if rng.chance(1, 5) {
+                    b.edge(from, field, allocs[rng.below(n_allocs)]);
+                }
+            }
+        }
+    }
+    b.finish()
+}
+
+#[test]
+fn signature_grouping_matches_pairwise_oracle_on_random_fpgs() {
+    let mut total_merged = 0usize;
+    let mut total_hk = 0u64;
+    for seed in 0..60u64 {
+        let fpg = random_fpg(seed.wrapping_mul(0x5851_f42d_4c95_7f2d) + 1);
+        let cfg = MahjongConfig::default();
+        let fast = merge_equivalent_objects(&fpg, &cfg);
+        let oracle = merge_equivalent_objects_pairwise(&fpg, &cfg);
+        assert_eq!(
+            fast.mom, oracle.mom,
+            "seed {seed}: signature path diverged from the pairwise oracle"
+        );
+        assert_eq!(fast.stats.merged_objects, oracle.stats.merged_objects);
+        assert_eq!(fast.stats.not_single_type, oracle.stats.not_single_type);
+        assert_eq!(
+            fast.stats.sig_buckets, oracle.stats.sig_buckets,
+            "seed {seed}: bucket count must equal the oracle's class count"
+        );
+        assert_eq!(fast.stats.hk_runs, 0, "seed {seed}: fast path ran HK");
+        total_merged += fast.stats.objects - fast.stats.merged_objects;
+        total_hk += oracle.stats.hk_runs;
+    }
+    // The generator must actually exercise merging, or the test proves
+    // nothing.
+    assert!(total_merged > 50, "generator produced too few merges: {total_merged}");
+    assert!(total_hk > 200, "oracle barely ran: {total_hk} HK checks");
+}
+
+#[test]
+fn paranoid_mode_agrees_on_random_fpgs() {
+    for seed in 0..20u64 {
+        let fpg = random_fpg(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) + 7);
+        let fast = merge_equivalent_objects(&fpg, &MahjongConfig::default());
+        let paranoid = merge_equivalent_objects(
+            &fpg,
+            &MahjongConfig {
+                paranoid: true,
+                ..MahjongConfig::default()
+            },
+        );
+        assert_eq!(fast.mom, paranoid.mom, "seed {seed}");
+        // Paranoid re-verifies each merge, so runs == merges absorbed,
+        // plus the representative-distinctness sweep.
+        let merges = (fast.stats.objects - fast.stats.merged_objects) as u64;
+        assert!(paranoid.stats.hk_runs >= merges, "seed {seed}");
+    }
+}
+
+#[test]
+fn sharded_build_matches_sequential_on_random_fpgs() {
+    for seed in 0..20u64 {
+        // Large enough (≥ 64 candidates) that the sharded build path
+        // actually engages instead of falling back to sequential.
+        let fpg = random_fpg_sized(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) + 3, 80);
+        let seq = merge_equivalent_objects(&fpg, &MahjongConfig::default());
+        for threads in [2, 3, 8] {
+            let par = merge_equivalent_objects(
+                &fpg,
+                &MahjongConfig {
+                    threads,
+                    ..MahjongConfig::default()
+                },
+            );
+            assert_eq!(seq.mom, par.mom, "seed {seed}, {threads} threads");
+        }
+    }
+}

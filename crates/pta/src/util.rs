@@ -1,90 +1,31 @@
-//! Small utilities: a fast, deterministic hasher for the hot interning
-//! and points-to-set maps.
+//! Small utilities: fast, deterministic hash maps for the hot interning
+//! and points-to-set tables.
 //!
-//! The hasher is a simple multiplicative mix (the same family as
-//! rustc's FxHash): not DoS-resistant, but the analysis only hashes its
-//! own interned indices, so speed and determinism are what matter.
+//! The hasher itself lives in the workspace-shared [`fxhash`] crate (a
+//! hand-rolled FxHash: multiplicative word mixing — not DoS-resistant,
+//! but the analysis only hashes its own interned indices, so speed and
+//! determinism are what matter). This module keeps the historical
+//! `FastMap`/`FastSet`/`FastHasher` names as aliases so `pta` call
+//! sites and downstream users are unaffected by the extraction.
 
-use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
+pub use fxhash::FxHasher as FastHasher;
 
 /// A `HashMap` keyed with [`FastHasher`].
-pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+pub type FastMap<K, V> = fxhash::FxHashMap<K, V>;
 /// A `HashSet` keyed with [`FastHasher`].
-pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
-
-const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-/// A fast non-cryptographic hasher for small integer-like keys.
-#[derive(Debug, Default, Clone)]
-pub struct FastHasher {
-    hash: u64,
-}
-
-impl FastHasher {
-    #[inline]
-    fn mix(&mut self, word: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
-    }
-}
-
-impl Hasher for FastHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for chunk in bytes.chunks(8) {
-            let mut buf = [0u8; 8];
-            buf[..chunk.len()].copy_from_slice(chunk);
-            self.mix(u64::from_le_bytes(buf));
-        }
-    }
-
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.mix(v as u64);
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.mix(v as u64);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.mix(v);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.mix(v as u64);
-    }
-}
+pub type FastSet<T> = fxhash::FxHashSet<T>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::hash::Hasher;
 
     #[test]
-    fn distinct_keys_distinct_buckets_mostly() {
-        let mut set = FastSet::default();
-        for i in 0u32..10_000 {
-            set.insert(i);
-        }
-        assert_eq!(set.len(), 10_000);
-        assert!(set.contains(&42));
-        assert!(!set.contains(&10_000));
-    }
-
-    #[test]
-    fn deterministic_across_instances() {
+    fn aliases_share_the_workspace_hasher() {
         let mut a = FastHasher::default();
-        let mut b = FastHasher::default();
-        a.write_u64(123);
-        b.write_u64(123);
+        let mut b = fxhash::FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
         assert_eq!(a.finish(), b.finish());
     }
 
@@ -94,5 +35,8 @@ mod tests {
         m.insert((1, 2), 3);
         assert_eq!(m.get(&(1, 2)), Some(&3));
         assert_eq!(m.get(&(2, 1)), None);
+        let mut s = FastSet::default();
+        s.insert(7u32);
+        assert!(s.contains(&7));
     }
 }

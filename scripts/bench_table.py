@@ -14,6 +14,13 @@ instead of hand-edited numbers.
 The schema has grown across PRs (cycle-collapse counters arrived in
 PR 3, thread counters in PR 4); missing keys render as `-` so old
 records stay first-class rows.
+
+Since the canonical-signature merge path, `repro` also writes a
+sibling Mahjong record next to each solver record: `BENCH_pta.json`
+pairs with `BENCH_mahjong.json`, and `BENCH_<label>.json` pairs with
+`BENCH_mahjong_<label>.json`. The sibling feeds the trailing Mahjong
+columns (DFAs built, signature buckets, HK runs, canonicalization
+time); rows without a sibling render `-` there.
 """
 
 import argparse
@@ -40,6 +47,22 @@ COLUMNS = [
     ("par shards", ("par_shards",), "{:,}".format),
 ]
 
+# Columns sourced from the paired BENCH_mahjong*.json sibling record.
+MAHJONG_COLUMNS = [
+    ("DFAs built", ("dfa_built",), "{:,}".format),
+    ("sig buckets", ("sig_buckets",), "{:,}".format),
+    ("HK runs", ("hk_runs",), "{:,}".format),
+    ("canon (ms)", ("canon_ns",), lambda v: f"{v / 1e6:.1f}"),
+]
+
+
+def mahjong_sibling(path: Path) -> Path:
+    # BENCH_pta.json -> BENCH_mahjong.json,
+    # BENCH_baseline_pr4.json -> BENCH_mahjong_baseline_pr4.json
+    rest = path.stem.removeprefix("BENCH_")
+    name = "BENCH_mahjong" if rest == "pta" else f"BENCH_mahjong_{rest}"
+    return path.with_name(f"{name}{path.suffix}")
+
 
 def lookup(record, path):
     for key in path:
@@ -64,10 +87,21 @@ def sort_key(path: Path):
 def render() -> str:
     records = []
     for path in sorted(ROOT.glob("BENCH_*.json"), key=sort_key):
+        if path.stem.startswith("BENCH_mahjong"):
+            continue  # siblings join their solver record below
         try:
-            records.append((label(path), json.loads(path.read_text())))
+            record = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as e:
             print(f"bench_table: skipping {path.name}: {e}", file=sys.stderr)
+            continue
+        sibling = mahjong_sibling(path)
+        mahjong = {}
+        if sibling.exists():
+            try:
+                mahjong = json.loads(sibling.read_text())
+            except (OSError, json.JSONDecodeError) as e:
+                print(f"bench_table: skipping {sibling.name}: {e}", file=sys.stderr)
+        records.append((label(path), record, mahjong))
     if not records:
         return "_no BENCH_*.json records committed_"
 
@@ -80,12 +114,16 @@ def render() -> str:
     )
     lines.append(f"Workload: `{workload}` (all rows; lower is better).")
     lines.append("")
-    lines.append("| record | " + " | ".join(h for h, _, _ in COLUMNS) + " |")
-    lines.append("|---|" + "---:|" * len(COLUMNS))
-    for name, record in records:
+    headers = [h for h, _, _ in COLUMNS] + [h for h, _, _ in MAHJONG_COLUMNS]
+    lines.append("| record | " + " | ".join(headers) + " |")
+    lines.append("|---|" + "---:|" * len(headers))
+    for name, record, mahjong in records:
         cells = []
         for _, path, fmt in COLUMNS:
             value = lookup(record, path)
+            cells.append("-" if value is None else fmt(value))
+        for _, path, fmt in MAHJONG_COLUMNS:
+            value = lookup(mahjong, path)
             cells.append("-" if value is None else fmt(value))
         lines.append(f"| `{name}` | " + " | ".join(cells) + " |")
     return "\n".join(lines)

@@ -5,9 +5,12 @@
 #
 # Build (release), full test suite, a warning-free clippy pass over
 # every target, a warning-free rustdoc build (crate docs are part of
-# the deliverable), and a `--threads 1` smoke run so the sequential
+# the deliverable), a `--threads 1` smoke run so the sequential
 # solver path — the default everywhere — cannot rot while development
-# happens against the parallel one.
+# happens against the parallel one, and a sharded `mahjong_cli` smoke
+# that checks the telemetry export parses and carries the merge-phase
+# counters (in particular `mahjong.hk_runs`, which the signature fast
+# path keeps at zero).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,3 +19,21 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 cargo run --release -q -p bench --bin repro -- --exp fig9 --scale 1 --threads 1
+
+mahjong_metrics="$(mktemp /tmp/tier1_mahjong.XXXXXX.jsonl)"
+trap 'rm -f "$mahjong_metrics"' EXIT
+cargo run --release -q -p mahjong --bin mahjong_cli -- corpus/containers.jir \
+    --threads 2 --metrics-json "$mahjong_metrics" > /dev/null
+python3 - "$mahjong_metrics" <<'EOF'
+import json, sys
+
+counters = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        rec = json.loads(line)  # every line must be valid JSON
+        if rec.get("type") == "counter":
+            counters[rec["name"]] = rec["value"]
+assert "mahjong.hk_runs" in counters, f"mahjong.hk_runs missing from {sorted(counters)}"
+assert counters["mahjong.hk_runs"] == 0, f"fast path ran HK: {counters['mahjong.hk_runs']}"
+print(f"tier1: mahjong_cli smoke ok ({len(counters)} counters, hk_runs=0)")
+EOF

@@ -10,7 +10,18 @@
 //!
 //! Update `WORKLIST_POPS_BOUND` deliberately, with the measured value
 //! and the reason, whenever the solver's propagation strategy changes.
+//!
+//! The Mahjong guard works the same way: the canonical-signature merge
+//! path must run **zero** Hopcroft–Karp equivalence checks (reverting
+//! to pairwise checking flips `hk_runs`/`equivalence_checks` nonzero
+//! immediately), and the amount of automaton work — `dfa_built`, one
+//! canonicalization per candidate — is pinned to a measured-at-commit
+//! bound the same way `worklist_pops` is. Wall-clock itself is tracked
+//! by the committed `BENCH_baseline_pr4.json` /
+//! `BENCH_mahjong_baseline_pr4.json` pair, which `scripts/bench_table.py`
+//! renders; counters, not seconds, are what CI can assert on.
 
+use mahjong::MahjongConfig;
 use pta::{AllocSiteAbstraction, AnalysisConfig, Budget, CallSiteSensitive};
 
 /// 1.10 × the `worklist_pops` measured for this exact configuration
@@ -31,6 +42,48 @@ fn worklist_pops_does_not_regress() {
         pops <= WORKLIST_POPS_BOUND,
         "worklist_pops regressed: {pops} > bound {WORKLIST_POPS_BOUND} \
          (bound = measured-at-commit × 1.10; see module docs)"
+    );
+}
+
+/// 1.10 × the `dfa_built` measured for luindex@2 with the default
+/// Mahjong configuration when the canonical-signature path landed:
+/// 288 measured → 317 bound. One DFA is built (and canonicalized once)
+/// per merge candidate, so this bounds the whole automaton phase's
+/// work; a regression that re-runs subset construction per pair or
+/// stops skipping singleton type groups blows past it.
+const MAHJONG_DFA_BUILT_BOUND: usize = 317;
+
+/// The Mahjong merge phase on the fixed workload: signatures do all the
+/// equivalence work (no Hopcroft–Karp on the fast path) and the volume
+/// of automaton construction stays within the checked-in bound.
+#[test]
+fn mahjong_fast_path_stays_hk_free() {
+    let w = workloads::dacapo::workload("luindex", 2);
+    let prepared_pre = pta::pre_analysis(&w.program).expect("pre-analysis fits");
+    let out = mahjong::build_heap_abstraction(&w.program, &prepared_pre, &MahjongConfig::default());
+    let stats = &out.stats;
+    assert_eq!(
+        stats.hk_runs, 0,
+        "fast path ran Hopcroft–Karp {} times; signatures should decide every merge",
+        stats.hk_runs
+    );
+    assert_eq!(stats.equivalence_checks, 0, "legacy alias must agree with hk_runs");
+    assert!(stats.dfa_built > 0, "merge phase built no automata");
+    assert!(
+        stats.sig_buckets <= stats.dfa_built,
+        "more buckets ({}) than automata ({})",
+        stats.sig_buckets,
+        stats.dfa_built
+    );
+    assert!(
+        stats.merged_objects < stats.objects,
+        "luindex@2 has known equivalent objects; nothing merged"
+    );
+    assert!(
+        stats.dfa_built <= MAHJONG_DFA_BUILT_BOUND,
+        "dfa_built regressed: {} > bound {MAHJONG_DFA_BUILT_BOUND} \
+         (bound = measured-at-commit × 1.10; see module docs)",
+        stats.dfa_built
     );
 }
 
