@@ -3,6 +3,7 @@
 //! ```text
 //! repro --exp table2 [--scale N] [--budget SECS] [--threads N] [--programs a,b,c]
 //!       [--metrics-json PATH] [--bench-json PATH] [--force] [--trace PATH]
+//!       [--profile] [--profile-json PATH] [--heartbeat SECS]
 //! repro --exp fig8
 //! repro --exp fig9
 //! repro --exp table1
@@ -25,6 +26,16 @@
 //! additionally prints a per-experiment phase-time summary
 //! (pre-analysis vs. Mahjong vs. the main analysis). Set
 //! `OBS_DISABLE=1` to turn recording into no-ops.
+//!
+//! `--profile` writes the solver-introspection profile (per-wave
+//! timeline records, the memory-attribution breakdown, and the
+//! hottest-pointer table — see `obs::timeline`) as `PROFILE_pta.json`
+//! next to the benchmark record, or wherever `--profile-json PATH`
+//! says (implies `--profile`). Unlike bench records the profile is a
+//! derived artifact and is overwritten freely. `--heartbeat SECS`
+//! prints a one-line progress pulse (wave round, worklist pops, live
+//! set words) to stderr every `SECS` seconds so multi-minute runs are
+//! not silent.
 
 use std::time::Duration;
 
@@ -58,6 +69,10 @@ struct Args {
     bench_json: Option<String>,
     force: bool,
     trace: Option<String>,
+    profile: bool,
+    profile_json: Option<String>,
+    /// Heartbeat period in seconds (0 = off).
+    heartbeat: u64,
 }
 
 fn parse_args() -> Args {
@@ -69,6 +84,9 @@ fn parse_args() -> Args {
     let mut bench_json = None;
     let mut force = false;
     let mut trace = None;
+    let mut profile = false;
+    let mut profile_json = None;
+    let mut heartbeat = 0u64;
     let mut programs: Vec<String> = workloads::dacapo::PROGRAMS
         .iter()
         .map(|s| s.to_string())
@@ -125,6 +143,22 @@ fn parse_args() -> Args {
                 trace = argv.get(i + 1).cloned();
                 i += 2;
             }
+            "--profile" => {
+                profile = true;
+                i += 1;
+            }
+            "--profile-json" => {
+                profile_json = argv.get(i + 1).cloned();
+                profile = true;
+                i += 2;
+            }
+            "--heartbeat" => {
+                heartbeat = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(heartbeat);
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
@@ -144,6 +178,9 @@ fn parse_args() -> Args {
         bench_json,
         force,
         trace,
+        profile,
+        profile_json,
+        heartbeat,
     }
 }
 
@@ -161,6 +198,7 @@ fn main() {
             std::process::exit(1);
         }
     }
+    start_heartbeat(args.heartbeat);
     let budget = Budget::seconds(args.budget);
     match args.exp.as_str() {
         "table2" => table2(&args, budget),
@@ -203,6 +241,68 @@ fn main() {
     if let Some(path) = &args.trace {
         write_or_die(path, &obs::export_chrome_trace());
     }
+    if args.profile {
+        let path = profile_path(&args, bench_target.as_deref());
+        write_or_die(&path, &profile_json(&args));
+        eprintln!("repro: wrote {path}");
+    }
+}
+
+/// Spawns the `--heartbeat` stderr pulse (detached; dies with the
+/// process). Reads the solver's live counters, which are updated once
+/// per wave, so the pulse tracks progress without touching hot paths.
+fn start_heartbeat(secs: u64) {
+    if secs == 0 {
+        return;
+    }
+    let start = std::time::Instant::now();
+    std::thread::spawn(move || loop {
+        std::thread::sleep(Duration::from_secs(secs));
+        eprintln!(
+            "repro: [{}s] wave {} · {} pops · {} live words",
+            start.elapsed().as_secs(),
+            obs::counter("pta.live_wave_rounds").get(),
+            obs::counter("pta.live_worklist_pops").get(),
+            obs::gauge("pta.live_pts_words").get(),
+        );
+    });
+}
+
+/// `PROFILE_pta.json` lands next to the benchmark record (or in the
+/// working directory when no bench target is configured), unless
+/// `--profile-json` says otherwise.
+fn profile_path(args: &Args, bench_target: Option<&str>) -> String {
+    if let Some(p) = &args.profile_json {
+        return p.clone();
+    }
+    match bench_target {
+        Some(b) => std::path::Path::new(b)
+            .with_file_name("PROFILE_pta.json")
+            .to_string_lossy()
+            .into_owned(),
+        None => "PROFILE_pta.json".to_owned(),
+    }
+}
+
+/// The solver-introspection profile: run header plus the timeline's
+/// own JSON export (records, memory breakdown, top-K table) under
+/// `"profile"`.
+fn profile_json(args: &Args) -> String {
+    let r = obs::registry();
+    format!(
+        "{{\n  \"exp\": \"{}\",\n  \"scale\": {},\n  \"budget_secs\": {},\n  \"threads\": {},\n  \
+         \"pre_analysis_secs\": {:.6},\n  \"main_analysis_secs\": {:.6},\n  \
+         \"pts_peak_words\": {},\n  \"pending_peak_words\": {},\n  \"profile\": {}\n}}\n",
+        args.exp,
+        args.scale,
+        args.budget,
+        args.threads,
+        r.phase_time("pre_analysis").as_secs_f64(),
+        r.phase_time("main_analysis").as_secs_f64(),
+        obs::gauge("pta.pts_peak_words").get(),
+        obs::gauge("pta.pending_peak_words").get(),
+        obs::timeline().export_json(),
+    )
 }
 
 /// `BENCH_pta.json` lands next to the `--metrics-json` file.

@@ -5,6 +5,8 @@ use std::fmt::Write as _;
 
 use crate::json::escape;
 use crate::registry::Registry;
+use crate::span::SpanEvent;
+use crate::timeline::{ShardSpan, SHARD_TID_BASE};
 
 impl Registry {
     /// Renders a human-readable summary table: phases first, then
@@ -62,41 +64,11 @@ impl Registry {
     /// Renders the span log as a Chrome `trace_event` document using
     /// complete (`"ph": "X"`) events — loadable in `about:tracing` and
     /// Perfetto. Counters are attached as process-level metadata on a
-    /// final summary event.
+    /// final summary event. The process-global exporter
+    /// ([`crate::export_chrome_trace`]) additionally merges in the
+    /// timeline's parallel-propagate shard spans.
     pub fn export_chrome_trace(&self) -> String {
-        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
-        let mut first = true;
-        for ev in self.spans() {
-            if !first {
-                out.push(',');
-            }
-            first = false;
-            let _ = write!(
-                out,
-                "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}}}}}",
-                escape(&ev.name),
-                ev.start_us,
-                ev.dur_us,
-                ev.tid,
-                ev.depth
-            );
-        }
-        // A zero-duration instant event carrying the final counter
-        // values, so the numbers travel with the trace.
-        if !first {
-            out.push(',');
-        }
-        out.push_str("{\"name\":\"obs.counters\",\"cat\":\"obs\",\"ph\":\"i\",\"ts\":0,\"pid\":1,\"tid\":1,\"s\":\"g\",\"args\":{");
-        let mut first_arg = true;
-        for (name, v) in self.counters() {
-            if !first_arg {
-                out.push(',');
-            }
-            first_arg = false;
-            let _ = write!(out, "\"{}\":{}", escape(&name), v);
-        }
-        out.push_str("}}]}");
-        out
+        render_chrome_trace(&self.spans(), &[], &self.counters())
     }
 
     /// Renders every instrument as one JSON object per line:
@@ -158,6 +130,89 @@ impl Registry {
     }
 }
 
+/// Renders spans, parallel-propagate shard spans, and counters as one
+/// Chrome `trace_event` document. Every distinct `tid` gets an `"M"`
+/// `thread_name` metadata event so trace viewers label the tracks:
+/// `tid` 1 is `"main"`, other span tids are `"thread {tid}"`, and shard
+/// tids (`SHARD_TID_BASE + k`) are `"propagate shard {k}"`.
+pub(crate) fn render_chrome_trace(
+    spans: &[SpanEvent],
+    shard_spans: &[ShardSpan],
+    counters: &[(String, u64)],
+) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let push_event = |out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+    };
+    // Thread-name metadata first: one "M" event per distinct track.
+    let mut tids: Vec<u64> = spans.iter().map(|ev| ev.tid).collect();
+    tids.extend(shard_spans.iter().map(|s| SHARD_TID_BASE + u64::from(s.shard)));
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let name = if tid == 1 {
+            "main".to_owned()
+        } else if tid >= SHARD_TID_BASE {
+            format!("propagate shard {}", tid - SHARD_TID_BASE)
+        } else {
+            format!("thread {tid}")
+        };
+        push_event(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            escape(&name)
+        );
+    }
+    for ev in spans {
+        push_event(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"depth\":{}}}}}",
+            escape(&ev.name),
+            ev.start_us,
+            ev.dur_us,
+            ev.tid,
+            ev.depth
+        );
+    }
+    for s in shard_spans {
+        push_event(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"wave {} L{}\",\"cat\":\"pta.shard\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"run\":{},\"wave\":{},\"level\":{},\"shard\":{}}}}}",
+            s.wave,
+            s.level,
+            s.start_us,
+            s.dur_us,
+            SHARD_TID_BASE + u64::from(s.shard),
+            s.run,
+            s.wave,
+            s.level,
+            s.shard
+        );
+    }
+    // A zero-duration instant event carrying the final counter values,
+    // so the numbers travel with the trace.
+    push_event(&mut out, &mut first);
+    out.push_str("{\"name\":\"obs.counters\",\"cat\":\"obs\",\"ph\":\"i\",\"ts\":0,\"pid\":1,\"tid\":1,\"s\":\"g\",\"args\":{");
+    let mut first_arg = true;
+    for (name, v) in counters {
+        if !first_arg {
+            out.push(',');
+        }
+        first_arg = false;
+        let _ = write!(out, "\"{}\":{}", escape(name), v);
+    }
+    out.push_str("}}]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use crate::json;
@@ -171,6 +226,41 @@ mod tests {
         // Only the counters metadata event.
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].get("ph").unwrap().as_str(), Some("i"));
+    }
+
+    #[test]
+    fn chrome_trace_renders_shard_tracks_and_thread_names() {
+        use crate::timeline::{ShardSpan, SHARD_TID_BASE};
+        let spans = [crate::SpanEvent {
+            name: "main_analysis".to_owned(),
+            tid: 1,
+            depth: 0,
+            start_us: 0,
+            dur_us: 100,
+        }];
+        let shards = [ShardSpan { run: 1, wave: 2, level: 5, shard: 1, start_us: 10, dur_us: 20 }];
+        let doc = json::parse(&super::render_chrome_trace(
+            &spans,
+            &shards,
+            &[("c.one".to_owned(), 3)],
+        ))
+        .unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Two M (main + shard track), one span X, one shard X, one i.
+        assert_eq!(events.len(), 5);
+        let metas: Vec<_> =
+            events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some("M")).collect();
+        assert_eq!(metas.len(), 2);
+        assert!(metas.iter().any(|e| {
+            e.get("args").unwrap().get("name").unwrap().as_str() == Some("propagate shard 1")
+                && e.get("tid").unwrap().as_u64() == Some(SHARD_TID_BASE + 1)
+        }));
+        let shard_x = events
+            .iter()
+            .find(|e| e.get("cat").map(|c| c.as_str()) == Some(Some("pta.shard")))
+            .unwrap();
+        assert_eq!(shard_x.get("tid").unwrap().as_u64(), Some(SHARD_TID_BASE + 1));
+        assert_eq!(shard_x.get("name").unwrap().as_str(), Some("wave 2 L5"));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 
 pub mod json;
 pub mod rng;
+pub mod timeline;
 
 mod export;
 mod histogram;
@@ -68,6 +69,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 static REGISTRY: OnceLock<Registry> = OnceLock::new();
+static TIMELINE: OnceLock<timeline::Timeline> = OnceLock::new();
 static ENABLED: OnceLock<AtomicBool> = OnceLock::new();
 
 fn enabled_flag() -> &'static AtomicBool {
@@ -95,6 +97,19 @@ pub fn registry() -> &'static Registry {
     REGISTRY.get_or_init(Registry::new)
 }
 
+/// Returns the process-global solver-introspection timeline (see
+/// [`mod@timeline`]).
+pub fn timeline() -> &'static timeline::Timeline {
+    TIMELINE.get_or_init(timeline::Timeline::default)
+}
+
+/// Microseconds elapsed since the process trace epoch (the zero point
+/// of every span and shard-span timestamp). Pins the epoch on first
+/// use, exactly like opening a span does.
+pub fn epoch_us() -> u64 {
+    span::epoch_offset_us()
+}
+
 /// Returns (creating on first use) the named monotonic counter.
 pub fn counter(name: &str) -> Counter {
     registry().counter(name)
@@ -116,12 +131,14 @@ pub fn span(name: impl Into<String>) -> Span {
     Span::enter(name.into())
 }
 
-/// Zeroes every instrument in place and clears the span log.
+/// Zeroes every instrument in place, clears the span log, and clears
+/// the solver-introspection [`timeline()`].
 ///
 /// Existing [`Counter`]/[`Gauge`]/[`Histogram`] handles stay valid:
 /// they point at the same cells, which are reset to zero.
 pub fn reset() {
     registry().reset();
+    timeline().reset();
 }
 
 /// Renders the human-readable summary table.
@@ -129,9 +146,16 @@ pub fn export_summary() -> String {
     registry().export_summary()
 }
 
-/// Renders the Chrome `trace_event` JSON document.
+/// Renders the Chrome `trace_event` JSON document: registry spans on
+/// their originating threads' tracks, parallel propagate shard spans
+/// from the [`timeline()`] on per-shard tracks, thread-name metadata,
+/// and the counter summary.
 pub fn export_chrome_trace() -> String {
-    registry().export_chrome_trace()
+    export::render_chrome_trace(
+        &registry().spans(),
+        &timeline().shard_spans(),
+        &registry().counters(),
+    )
 }
 
 /// Renders the flat JSON-Lines metrics dump.

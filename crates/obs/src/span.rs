@@ -28,6 +28,12 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Microseconds since the process trace epoch, pinning the epoch on
+/// first use (backs [`crate::epoch_us`]).
+pub(crate) fn epoch_offset_us() -> u64 {
+    epoch().elapsed().as_micros() as u64
+}
+
 fn current_tid() -> u64 {
     TID.with(|t| {
         if t.get() == 0 {

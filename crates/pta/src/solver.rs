@@ -97,6 +97,10 @@ use dsu::DisjointSets;
 use jir::{
     AllocId, CallKind, CallSiteId, CallTarget, FieldId, MethodId, Program, Stmt, TypeId, VarId,
 };
+use obs::timeline::{
+    HotPointer, MemoryBreakdown, ShardSpan, WaveRecord, LEVEL_MIXED, LEVEL_OVERHEAD, LEVEL_SEED,
+    LEVEL_UNRANKED,
+};
 use pts::PtsSet;
 
 use crate::context::{ContextArena, ContextSelector, CtxId};
@@ -315,6 +319,140 @@ const PAR_MIN_BATCH: usize = 16;
 /// level of 40 pointers on an 8-thread budget spawns 5 shards, not 8).
 const PAR_SHARD_ITEMS: usize = 8;
 
+/// A level batch (or coalesced run of batches) at least this expensive
+/// always gets its own timeline record; cheaper work coalesces into a
+/// `LEVEL_MIXED` residual so the record ring tracks where the time
+/// went without one entry per micro-batch.
+const TL_FLUSH_NS: u64 = 4_000_000;
+
+/// Per-run budget of standalone records for level batches below
+/// [`TL_FLUSH_NS`], so short runs (tests, tiny programs) still produce
+/// per-level records instead of one coalesced blob.
+const TL_FREE_RECORDS: u32 = 256;
+
+/// Memory-attribution sampling period in waves (each sample scans
+/// every points-to and pending set, so it must stay off the per-wave
+/// hot path).
+const TL_MEM_SAMPLE_WAVES: u64 = 64;
+
+/// Rows in the hottest-pointer table published at finalize.
+const TL_TOP_K: usize = 24;
+
+/// Per-run funnel from the solver's hot loops into [`obs::timeline`].
+///
+/// Batches worth at least [`TL_FLUSH_NS`] become standalone
+/// [`WaveRecord`]s; real level batches below that spend the per-run
+/// [`TL_FREE_RECORDS`] budget; everything else is absorbed into a
+/// `LEVEL_MIXED` residual flushed once it accumulates [`TL_FLUSH_NS`]
+/// or at a wave boundary. When observability was off at run start
+/// (`on == false`) every method returns immediately and no `Instant`
+/// is ever read — the profiler is fully inert.
+struct TimelineSink {
+    on: bool,
+    run: u32,
+    wave: u32,
+    free_left: u32,
+    residual: WaveRecord,
+}
+
+impl TimelineSink {
+    fn new() -> Self {
+        let on = obs::enabled();
+        TimelineSink {
+            on,
+            run: if on { obs::timeline().begin_run() } else { 0 },
+            wave: 0,
+            free_left: TL_FREE_RECORDS,
+            residual: WaveRecord::default(),
+        }
+    }
+
+    /// `Instant::now()` when recording, `None` otherwise — the hot
+    /// loops thread these marks through so disabled runs never touch
+    /// the clock.
+    fn now(&self) -> Option<Instant> {
+        if self.on {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Routes one measured batch record (run/wave stamped here).
+    fn batch(&mut self, mut rec: WaveRecord) {
+        if !self.on {
+            return;
+        }
+        rec.run = self.run;
+        rec.wave = self.wave;
+        if rec.total_ns() >= TL_FLUSH_NS {
+            obs::timeline().record_wave(rec);
+            return;
+        }
+        // The free budget is reserved for real level batches (pops >
+        // 0): tiny runs still get per-level records, while cheap
+        // seed/overhead slivers always coalesce.
+        if rec.pops > 0 && self.free_left > 0 {
+            self.free_left -= 1;
+            obs::timeline().record_wave(rec);
+            return;
+        }
+        if self.residual.pops == 0 && self.residual.total_ns() == 0 {
+            self.residual.wave = rec.wave;
+        }
+        self.residual.absorb(&rec);
+        if self.residual.total_ns() >= TL_FLUSH_NS {
+            self.flush_residual();
+        }
+    }
+
+    /// Emits the coalesced residual as one `LEVEL_MIXED` record.
+    fn flush_residual(&mut self) {
+        if !self.on {
+            return;
+        }
+        let rec = std::mem::take(&mut self.residual);
+        if rec.pops == 0 && rec.total_ns() == 0 {
+            return;
+        }
+        obs::timeline().record_wave(WaveRecord {
+            run: self.run,
+            level: LEVEL_MIXED,
+            ..rec
+        });
+    }
+
+    /// Records solver bookkeeping (collapse, wave scheduling, init and
+    /// finalize) elapsed since `t0`; no-op on disabled runs.
+    fn overhead_since(&mut self, t0: Option<Instant>) {
+        let Some(t0) = t0 else { return };
+        self.batch(WaveRecord {
+            level: LEVEL_OVERHEAD,
+            resolve_ns: t0.elapsed().as_nanos() as u64,
+            ..WaveRecord::default()
+        });
+    }
+
+    /// Records a statement-processing (seed) drain elapsed since `t0`.
+    fn seed_since(&mut self, t0: Option<Instant>) {
+        let Some(t0) = t0 else { return };
+        self.batch(WaveRecord {
+            level: LEVEL_SEED,
+            merge_ns: t0.elapsed().as_nanos() as u64,
+            ..WaveRecord::default()
+        });
+    }
+}
+
+/// Identity a parallel propagate shard stamps on its [`ShardSpan`]
+/// (present only when the batch is profiled and actually sharded).
+#[derive(Clone, Copy)]
+struct ShardCtx {
+    run: u32,
+    wave: u32,
+    level: u32,
+}
+
 /// Per-item output of one parallel wave shard: the copy-edge
 /// contributions `(target representative, objects new to it)` computed
 /// against a frozen view of the points-to sets, plus the quiescent
@@ -330,8 +468,10 @@ struct ItemOut {
 /// item, its copy-edge contributions against the frozen points-to
 /// sets. Reads only — every row was DSU-normalized and every cast mask
 /// materialized by the resolve phase. Returns the tagged per-item
-/// outputs plus whether this shard claimed any chunk at all (the
-/// `pta.par_steal_none` signal).
+/// outputs, whether this shard claimed any chunk at all (the
+/// `pta.par_steal_none` signal), and — when `ctx` carries a
+/// `(ShardCtx, shard index)` — the shard's busy nanoseconds, recording
+/// its execution window as a [`ShardSpan`] for the Chrome trace.
 fn shard_worker(
     batch: &[(PtrId, PtsSet<ObjId>)],
     succ: &[Vec<(PtrId, Option<TypeId>)>],
@@ -339,7 +479,9 @@ fn shard_worker(
     masks: &FastMap<TypeId, PtsSet<ObjId>>,
     cursor: &AtomicUsize,
     chunk: usize,
-) -> (Vec<(usize, ItemOut)>, bool) {
+    ctx: Option<(ShardCtx, u32)>,
+) -> (Vec<(usize, ItemOut)>, bool, u64) {
+    let timed = ctx.map(|c| (c, obs::epoch_us(), Instant::now()));
     let mut out: Vec<(usize, ItemOut)> = Vec::new();
     let mut got_any = false;
     loop {
@@ -377,7 +519,22 @@ fn shard_worker(
             }
         }
     }
-    (out, got_any)
+    let busy_ns = match timed {
+        Some(((c, shard), start_us, t0)) => {
+            let busy = t0.elapsed();
+            obs::timeline().record_shard(ShardSpan {
+                run: c.run,
+                wave: c.wave,
+                level: c.level,
+                shard,
+                start_us,
+                dur_us: busy.as_micros() as u64,
+            });
+            busy.as_nanos() as u64
+        }
+        None => 0,
+    };
+    (out, got_any, busy_ns)
 }
 
 struct Solver<'a, S, H> {
@@ -440,6 +597,19 @@ struct Solver<'a, S, H> {
     /// chains).
     pending_methods: VecDeque<(CtxId, MethodId)>,
     stats: AnalysisStats,
+
+    /// Timeline funnel for this run (inert when observability was off
+    /// at run start).
+    tl: TimelineSink,
+    /// Per-pointer popped-delta words, feeding the hottest-pointer
+    /// table; grown alongside `pts` only while profiling.
+    hot_words: Vec<u64>,
+    /// Per-pointer worklist pops, feeding the hottest-pointer table.
+    hot_pops: Vec<u32>,
+    /// Largest pending-delta footprint seen at any memory sample.
+    pending_peak_words: u64,
+    /// `worklist_pops` already mirrored into `pta.live_worklist_pops`.
+    live_pops_published: u64,
 }
 
 impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
@@ -495,15 +665,22 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             worklist: VecDeque::new(),
             pending_methods: VecDeque::new(),
             stats: AnalysisStats::default(),
+            tl: TimelineSink::new(),
+            hot_words: Vec::new(),
+            hot_pops: Vec::new(),
+            pending_peak_words: 0,
+            live_pops_published: 0,
         }
     }
 
     fn solve(mut self) -> Result<AnalysisResult, Unscalable> {
         {
             let _init = obs::span("solver.init");
+            let t0 = self.tl.now();
             let empty = self.arena.empty();
             self.mark_reachable(empty, self.program.entry());
             self.stats.init_time = self.start.elapsed();
+            self.tl.overhead_since(t0);
         }
 
         let fixpoint_start = Instant::now();
@@ -513,9 +690,15 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         'fixpoint: loop {
             // Statement processing first: it seeds objects and edges the
             // wave below will propagate.
+            let t_seed = if self.pending_methods.is_empty() {
+                None
+            } else {
+                self.tl.now()
+            };
             while let Some((ctx, method)) = self.pending_methods.pop_front() {
                 self.process_method(ctx, method);
             }
+            self.tl.seed_since(t_seed);
             if self.worklist.is_empty() {
                 break 'fixpoint;
             }
@@ -525,6 +708,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             // O(V + E), negligible next to the propagation it orders,
             // and fresh topological ranks are what make the wave pay
             // off (stale ranks degenerate toward FIFO).
+            let t_over = self.tl.now();
             self.apply_lcd();
             if self.edges_since_sweep > 0 {
                 self.collapse_sweep();
@@ -532,12 +716,14 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
 
             // One wave: dirty pointers in topological rank order.
             self.stats.wave_rounds += 1;
+            self.tl.wave = self.stats.wave_rounds as u32;
             let dirty: Vec<PtrId> = self.worklist.drain(..).collect();
             let mut wave: BinaryHeap<Reverse<(u32, u32)>> = dirty
                 .into_iter()
                 .map(|p| Reverse((self.rank(p), p.0)))
                 .collect();
             let mut next_wave: Vec<PtrId> = Vec::new();
+            self.tl.overhead_since(t_over);
 
             let overrun = if self.threads > 1 {
                 self.wave_parallel(&mut wave, &mut next_wave, &delta_hist, &mut since_check)
@@ -549,6 +735,15 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 return Err(self.overrun(fixpoint_start));
             }
             self.worklist.extend(next_wave);
+            if self.tl.on {
+                obs::counter("pta.live_wave_rounds").inc();
+                let pops = self.stats.worklist_pops;
+                obs::counter("pta.live_worklist_pops").add(pops - self.live_pops_published);
+                self.live_pops_published = pops;
+                if self.stats.wave_rounds.is_multiple_of(TL_MEM_SAMPLE_WAVES) {
+                    self.sample_memory(self.stats.wave_rounds as u32);
+                }
+            }
         }
         drop(fixpoint_span);
         self.stats.fixpoint_time = fixpoint_start.elapsed();
@@ -568,6 +763,14 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             }
             obs::gauge("pta.pointer_nodes").set(self.pts.len() as i64);
         }
+        if self.tl.on {
+            // Final memory attribution: every pending delta has been
+            // drained, so `rep_words` equals this run's peak exactly
+            // and the peak run's sample wins the retained slot.
+            self.sample_memory(0);
+            self.publish_top_pointers();
+            obs::gauge("pta.pending_peak_words").set(self.pending_peak_words as i64);
+        }
         let result = AnalysisResult::from_parts(
             self.arena,
             self.objs,
@@ -583,6 +786,12 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         );
         drop(finalize_span);
         self.stats.finalize_time = finalize_start.elapsed();
+        self.tl.batch(WaveRecord {
+            level: LEVEL_OVERHEAD,
+            resolve_ns: self.stats.finalize_time.as_nanos() as u64,
+            ..WaveRecord::default()
+        });
+        self.tl.flush_residual();
         self.stats.elapsed = self.start.elapsed();
         self.stats.publish();
         Ok(result.with_stats(self.stats))
@@ -596,6 +805,15 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.stats.call_graph_edges = self.cg_edges.len() as u64;
         self.stats.pts_peak_words = self.pts_words();
         self.stats.dsu_ops = self.dsu.ops();
+        if self.tl.on {
+            // An aborted run may still be the process peak: sample it
+            // so the memory categories cover whatever `pts_peak_words`
+            // the bench record ends up reporting.
+            self.sample_memory(self.stats.wave_rounds as u32);
+            self.publish_top_pointers();
+            obs::gauge("pta.pending_peak_words").set(self.pending_peak_words as i64);
+            self.tl.flush_residual();
+        }
         self.stats.publish();
         Unscalable {
             elapsed: self.start.elapsed(),
@@ -606,6 +824,68 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
 
     fn pts_words(&self) -> u64 {
         self.pts.iter().map(|s| s.mem_words() as u64).sum()
+    }
+
+    /// Takes one memory-attribution sample (`wave` 0 = finalize) and
+    /// mirrors it into the `pta.mem_*` gauges when it becomes the
+    /// retained (largest-`rep_words`) sample. Scans every set, so
+    /// callers keep it off the per-wave hot path.
+    fn sample_memory(&mut self, wave: u32) {
+        let rep_words = self.pts_words();
+        let pending_words: u64 = self.pending.iter().map(|s| s.mem_words() as u64).sum();
+        let mask_words: u64 = self.masks.values().map(|s| s.mem_words() as u64).sum();
+        self.pending_peak_words = self.pending_peak_words.max(pending_words);
+        obs::gauge("pta.live_pts_words").set(rep_words as i64);
+        let retained = obs::timeline().offer_memory(MemoryBreakdown {
+            run: self.tl.run,
+            wave,
+            rep_words,
+            pending_words,
+            mask_words,
+        });
+        if retained {
+            obs::gauge("pta.mem_rep_words").set(rep_words as i64);
+            obs::gauge("pta.mem_pending_words").set(pending_words as i64);
+            obs::gauge("pta.mem_mask_words").set(mask_words as i64);
+        }
+    }
+
+    /// Builds the hottest-pointer table (top [`TL_TOP_K`] popped-delta
+    /// word totals) and offers it to the timeline, scored by this
+    /// run's total popped words.
+    fn publish_top_pointers(&self) {
+        let total: u64 = self.hot_words.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let mut idx: Vec<u32> = (0..self.hot_words.len() as u32)
+            .filter(|&i| self.hot_words[i as usize] > 0)
+            .collect();
+        idx.sort_unstable_by_key(|&i| (Reverse(self.hot_words[i as usize]), i));
+        idx.truncate(TL_TOP_K);
+        // Count collapsed-SCC members for just the selected reps.
+        let mut scc_size: FastMap<u32, u32> = idx.iter().map(|&i| (i, 0)).collect();
+        for p in 0..self.pts.len() {
+            if let Some(c) = scc_size.get_mut(&(self.dsu.find(p) as u32)) {
+                *c += 1;
+            }
+        }
+        let rows: Vec<HotPointer> = idx
+            .iter()
+            .enumerate()
+            .map(|(k, &i)| {
+                let ii = i as usize;
+                HotPointer {
+                    rank: k as u32 + 1,
+                    key: format!("{:?}", self.ptr_keys[ii]),
+                    words: self.hot_words[ii],
+                    pops: u64::from(self.hot_pops[ii]),
+                    set_len: self.pts[self.dsu.find(ii)].len() as u64,
+                    scc_size: scc_size.get(&i).copied().unwrap_or(1).max(1),
+                }
+            })
+            .collect();
+        obs::timeline().offer_top_pointers(total, rows);
     }
 
     // --- Cycle collapse ----------------------------------------------------
@@ -658,23 +938,33 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         delta_hist: &obs::Histogram,
         since_check: &mut usize,
     ) -> bool {
+        // Consecutive pops at one topological rank coalesce into one
+        // timeline record (the sequential analogue of a level batch).
+        let mut cur = WaveRecord::default();
+        let mut cur_any = false;
         while let Some(Reverse((cursor_rank, pi))) = wave.pop() {
             // Collapse between pops only — no row iteration is on
             // the stack here, so merging solver state is safe.
             if self.lcd_candidates.len() >= LCD_BATCH
                 || self.edges_since_sweep >= self.sweep_threshold()
             {
+                let t0 = self.tl.now();
                 self.apply_lcd();
                 if self.edges_since_sweep >= self.sweep_threshold() {
                     self.collapse_sweep();
                 }
                 self.route_dirty(wave, next_wave, cursor_rank);
+                self.tl.overhead_since(t0);
             }
 
             *since_check += 1;
             if *since_check >= 4096 {
                 *since_check = 0;
                 if self.start.elapsed() > self.budget.time_limit {
+                    if cur_any {
+                        self.tl.batch(std::mem::take(&mut cur));
+                    }
+                    self.tl.flush_residual();
                     return true;
                 }
             }
@@ -689,12 +979,36 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             }
             self.stats.worklist_pops += 1;
             delta_hist.record(delta.len() as u64);
+            if self.tl.on {
+                let level = cursor_rank.min(LEVEL_UNRANKED);
+                if cur_any && cur.level != level {
+                    self.tl.batch(std::mem::take(&mut cur));
+                }
+                cur.level = level;
+                cur.shards = 1;
+                cur_any = true;
+                cur.pops += 1;
+                cur.objects += delta.len() as u64;
+                cur.words += delta.mem_words() as u64;
+                self.hot_words[ptr.index()] += delta.mem_words() as u64;
+                self.hot_pops[ptr.index()] += 1;
+            }
+            let t0 = self.tl.now();
             self.process(ptr, &delta);
+            let t1 = self.tl.now();
             while let Some((ctx, method)) = self.pending_methods.pop_front() {
                 self.process_method(ctx, method);
             }
+            if let (Some(t0), Some(t1)) = (t0, t1) {
+                cur.propagate_ns += t1.duration_since(t0).as_nanos() as u64;
+                cur.merge_ns += t1.elapsed().as_nanos() as u64;
+            }
             self.route_dirty(wave, next_wave, cursor_rank);
         }
+        if cur_any {
+            self.tl.batch(std::mem::take(&mut cur));
+        }
+        self.tl.flush_residual();
         false
     }
 
@@ -716,11 +1030,13 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             if self.lcd_candidates.len() >= LCD_BATCH
                 || self.edges_since_sweep >= self.sweep_threshold()
             {
+                let t0 = self.tl.now();
                 self.apply_lcd();
                 if self.edges_since_sweep >= self.sweep_threshold() {
                     self.collapse_sweep();
                 }
                 self.route_dirty(wave, next_wave, level);
+                self.tl.overhead_since(t0);
             }
 
             // Drain the level. Equal-level pointers share no unfiltered
@@ -749,20 +1065,32 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             if *since_check >= 4096 {
                 *since_check = 0;
                 if self.start.elapsed() > self.budget.time_limit {
+                    self.tl.flush_residual();
                     return true;
                 }
             }
 
-            self.process_level(&batch, delta_hist);
+            self.process_level(&batch, level.min(LEVEL_UNRANKED), delta_hist);
             self.route_dirty(wave, next_wave, level);
         }
+        self.tl.flush_residual();
         false
     }
 
     /// Processes one level batch in the three phases described in the
     /// module docs: sequential resolve, parallel read-only propagate,
-    /// sequential deterministic merge.
-    fn process_level(&mut self, batch: &[(PtrId, PtsSet<ObjId>)], delta_hist: &obs::Histogram) {
+    /// sequential deterministic merge. `level` is the batch's
+    /// topological level (clamped to `LEVEL_UNRANKED`), used only for
+    /// timeline attribution.
+    fn process_level(
+        &mut self,
+        batch: &[(PtrId, PtsSet<ObjId>)],
+        level: u32,
+        delta_hist: &obs::Histogram,
+    ) {
+        let t_resolve = self.tl.now();
+        let mut objects = 0u64;
+        let mut words = 0u64;
         // Resolve: normalize every copy row in the batch through the
         // DSU (`Cell`-based, not `Sync`) and materialize every cast
         // mask a shard might read. Rows stay sorted enough for the
@@ -776,6 +1104,12 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             if self.has_consumers(i) {
                 self.stats.propagated_objects += delta.len() as u64;
             }
+            if self.tl.on {
+                objects += delta.len() as u64;
+                words += delta.mem_words() as u64;
+                self.hot_words[i] += delta.mem_words() as u64;
+                self.hot_pops[i] += 1;
+            }
             for k in 0..self.succ[i].len() {
                 let (to_raw, filter) = self.succ[i][k];
                 self.succ[i][k].0 = self.rep(to_raw);
@@ -788,6 +1122,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         // Propagate: shards claim chunks of the batch off an atomic
         // cursor and compute copy-edge contributions against a frozen
         // view of the points-to sets — no shared writes at all.
+        let t_prop = self.tl.now();
         let shards = if batch.len() >= PAR_MIN_BATCH {
             self.threads
                 .min(batch.len().div_ceil(PAR_SHARD_ITEMS))
@@ -797,36 +1132,53 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         };
         let chunk = batch.len().div_ceil(shards * 4).max(1);
         let cursor = AtomicUsize::new(0);
+        let mut busy_ns = 0u64;
         let mut outs: Vec<(usize, ItemOut)> = if shards > 1 {
             self.stats.par_shards += shards as u64;
+            let shard_ctx = if self.tl.on {
+                Some(ShardCtx {
+                    run: self.tl.run,
+                    wave: self.tl.wave,
+                    level,
+                })
+            } else {
+                None
+            };
             let succ = &self.succ;
             let pts = &self.pts;
             let masks = &self.masks;
             let cursor = &cursor;
-            let (outs, steal_none, barrier_ns) = std::thread::scope(|s| {
+            let (outs, steal_none, barrier_ns, busy) = std::thread::scope(|s| {
                 let handles: Vec<_> = (1..shards)
-                    .map(|_| s.spawn(move || shard_worker(batch, succ, pts, masks, cursor, chunk)))
+                    .map(|k| {
+                        let ctx = shard_ctx.map(|c| (c, k as u32));
+                        s.spawn(move || shard_worker(batch, succ, pts, masks, cursor, chunk, ctx))
+                    })
                     .collect();
-                let (mut outs, _) = shard_worker(batch, succ, pts, masks, cursor, chunk);
+                let (mut outs, _, mut busy) =
+                    shard_worker(batch, succ, pts, masks, cursor, chunk, shard_ctx.map(|c| (c, 0)));
                 let barrier_start = Instant::now();
                 let mut steal_none = 0u64;
                 for h in handles {
-                    let (o, got_any) = h.join().expect("wave shard worker panicked");
+                    let (o, got_any, b) = h.join().expect("wave shard worker panicked");
                     if !got_any {
                         steal_none += 1;
                     }
+                    busy += b;
                     outs.extend(o);
                 }
-                (outs, steal_none, barrier_start.elapsed().as_nanos() as u64)
+                (outs, steal_none, barrier_start.elapsed().as_nanos() as u64, busy)
             });
             self.stats.par_steal_none += steal_none;
             self.stats.wave_barrier_ns += barrier_ns;
+            busy_ns = busy;
             outs
         } else {
-            shard_worker(batch, &self.succ, &self.pts, &self.masks, &cursor, batch.len()).0
+            shard_worker(batch, &self.succ, &self.pts, &self.masks, &cursor, batch.len(), None).0
         };
         // Shards report in join order; batch index restores the one
         // true order before anything downstream looks at the results.
+        let t_merge = self.tl.now();
         outs.sort_unstable_by_key(|&(bi, _)| bi);
 
         // Merge: apply contributions target-by-target in ascending
@@ -876,6 +1228,33 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             while let Some((ctx, method)) = self.pending_methods.pop_front() {
                 self.process_method(ctx, method);
             }
+        }
+
+        if let (Some(t_resolve), Some(t_prop), Some(t_merge)) = (t_resolve, t_prop, t_merge) {
+            let propagate_ns = t_merge.duration_since(t_prop).as_nanos() as u64;
+            // Sharded batches account busy from the workers' own
+            // clocks; idle is the propagate wall the shards did not
+            // spend computing (scheduling skew plus the level barrier).
+            let (busy, idle) = if shards > 1 {
+                let wall = propagate_ns * shards as u64;
+                (busy_ns, wall.saturating_sub(busy_ns))
+            } else {
+                (propagate_ns, 0)
+            };
+            self.tl.batch(WaveRecord {
+                run: 0, // stamped by the sink
+                wave: 0,
+                level,
+                pops: batch.len() as u32,
+                objects,
+                words,
+                resolve_ns: t_prop.duration_since(t_resolve).as_nanos() as u64,
+                propagate_ns,
+                merge_ns: t_merge.elapsed().as_nanos() as u64,
+                shards: shards as u32,
+                busy_ns: busy,
+                idle_ns: idle,
+            });
         }
     }
 
@@ -1165,6 +1544,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.stores.push(Vec::new());
         self.calls.push(Vec::new());
         self.dsu.push();
+        if self.tl.on {
+            self.hot_words.push(0);
+            self.hot_pops.push(0);
+        }
         p
     }
 

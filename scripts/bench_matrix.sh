@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Threads-sweep bench matrix: run the fixed benchmark workload at
+# several thread counts and collect one BENCH record per point, so the
+# parallel-propagate scaling story is reproducible from checked-in
+# tooling rather than ad-hoc runs.
+#
+#   scripts/bench_matrix.sh                 # threads 1 2 4 8 into bench_matrix/
+#   THREADS="1 2" scripts/bench_matrix.sh   # custom sweep
+#   EXP=table2 SCALE=4 BUDGET=600 OUT=bench_matrix scripts/bench_matrix.sh
+#
+# Each point writes BENCH_pta_tN.json (+ the BENCH_mahjong_pta_tN.json
+# sibling) into $OUT; the final table renders via
+# `scripts/bench_table.py --dir $OUT`. Results are bit-identical across
+# thread counts (tests/thread_parity.rs), so only the timing columns
+# move. The threads-4 point also writes PROFILE_pta.json there for
+# per-wave inspection.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXP="${EXP:-table2}"
+SCALE="${SCALE:-4}"
+BUDGET="${BUDGET:-900}"
+THREADS="${THREADS:-1 2 4 8}"
+OUT="${OUT:-bench_matrix}"
+
+cargo build --release -p bench >/dev/null
+REPRO=target/release/repro
+mkdir -p "$OUT"
+
+for t in $THREADS; do
+    echo "bench_matrix: $EXP@$SCALE threads=$t" >&2
+    profile_args=()
+    if [ "$t" -eq 4 ]; then
+        profile_args=(--profile --profile-json "$OUT/PROFILE_pta.json")
+    fi
+    "$REPRO" --exp "$EXP" --scale "$SCALE" --budget "$BUDGET" \
+        --threads "$t" --force \
+        --bench-json "$OUT/BENCH_pta_t$t.json" \
+        "${profile_args[@]}" >/dev/null
+done
+
+python3 scripts/bench_table.py --dir "$OUT"

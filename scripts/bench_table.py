@@ -10,6 +10,9 @@ instead of hand-edited numbers.
 
     scripts/bench_table.py              # print the table to stdout
     scripts/bench_table.py --update     # rewrite the marked README block
+    scripts/bench_table.py --check      # validate committed record schemas
+    scripts/bench_table.py --dir D      # render records from directory D
+                                        # (e.g. a bench_matrix.sh sweep)
 
 The schema has grown across PRs (cycle-collapse counters arrived in
 PR 3, thread counters in PR 4); missing keys render as `-` so old
@@ -79,14 +82,19 @@ def label(path: Path) -> str:
 
 
 def sort_key(path: Path):
-    # Baselines in PR order first, the live BENCH_pta.json record last.
+    # Baselines in PR order first, then threads-sweep records
+    # (BENCH_pta_t1.json, BENCH_pta_t2.json, ...) in thread order, and
+    # the live BENCH_pta.json record last.
     m = re.search(r"pr(\d+)", path.stem)
-    return (0, int(m.group(1))) if m else (1, 0)
+    if m:
+        return (0, int(m.group(1)))
+    m = re.search(r"_t(\d+)$", path.stem)
+    return (1, int(m.group(1))) if m else (2, 0)
 
 
-def render() -> str:
+def render(root: Path) -> str:
     records = []
-    for path in sorted(ROOT.glob("BENCH_*.json"), key=sort_key):
+    for path in sorted(root.glob("BENCH_*.json"), key=sort_key):
         if path.stem.startswith("BENCH_mahjong"):
             continue  # siblings join their solver record below
         try:
@@ -129,6 +137,142 @@ def render() -> str:
     return "\n".join(lines)
 
 
+# Keys every BENCH_*.json solver record must carry, whatever PR wrote
+# it. `phase_secs.*` are nested under ("phase_secs", key).
+BASE_KEYS = [
+    ("exp",),
+    ("scale",),
+    ("budget_secs",),
+    ("phase_secs", "pre_analysis"),
+    ("phase_secs", "mahjong"),
+    ("phase_secs", "main_analysis"),
+    ("worklist_pops",),
+    ("propagated_objects",),
+    ("delta_objects",),
+    ("copy_edges",),
+    ("pts_peak_words",),
+]
+
+# Keys the *current* record (BENCH_pta.json) must additionally carry —
+# these arrived with later PRs and old baselines may lack them.
+CURRENT_KEYS = [
+    ("threads",),
+    ("scc_collapsed_ptrs",),
+    ("collapse_sweeps",),
+    ("wave_rounds",),
+    ("par_shards",),
+    ("par_steal_none",),
+    ("wave_barrier_ns",),
+]
+
+MAHJONG_KEYS = [("dfa_built",), ("sig_buckets",), ("hk_runs",), ("canon_ns",)]
+
+# Per-record keys in PROFILE_pta.json's "profile.records" entries.
+PROFILE_RECORD_KEYS = [
+    "run", "wave", "level", "pops", "objects", "words",
+    "resolve_ns", "propagate_ns", "merge_ns", "shards", "busy_ns", "idle_ns",
+]
+
+
+def check(root: Path) -> int:
+    """Validate committed record schemas; print one line per problem."""
+    problems = []
+
+    def need(path: Path, record, keys):
+        for key in keys:
+            if lookup(record, key) is None:
+                problems.append(f"{path.name}: missing key {'.'.join(key)}")
+
+    bench_paths = [
+        p for p in sorted(root.glob("BENCH_*.json"), key=sort_key)
+        if not p.stem.startswith("BENCH_mahjong")
+    ]
+    if not bench_paths:
+        problems.append(f"{root}: no BENCH_*.json solver records found")
+    for path in bench_paths:
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            problems.append(f"{path.name}: unreadable: {e}")
+            continue
+        need(path, record, BASE_KEYS)
+        if path.stem == "BENCH_pta":
+            need(path, record, CURRENT_KEYS)
+        current = path.stem == "BENCH_pta" or re.search(r"_t\d+$", path.stem)
+        sibling = mahjong_sibling(path)
+        if sibling.exists():
+            try:
+                sib = json.loads(sibling.read_text())
+            except (OSError, json.JSONDecodeError) as e:
+                problems.append(f"{sibling.name}: unreadable: {e}")
+            else:
+                # The canon-phase keys arrived with the signature path
+                # (PR 5); only current-generation siblings must have them.
+                if current:
+                    need(sibling, sib, MAHJONG_KEYS)
+        elif current:
+            problems.append(f"{path.name}: sibling {sibling.name} is missing")
+
+    profile = root / "PROFILE_pta.json"
+    if profile.exists():
+        problems.extend(check_profile(profile))
+
+    for p in problems:
+        print(f"bench_table: CHECK FAIL: {p}", file=sys.stderr)
+    if not problems:
+        n = len(bench_paths) + int(profile.exists())
+        print(f"bench_table: check OK ({n} records)")
+    return 1 if problems else 0
+
+
+def check_profile(path: Path):
+    """Schema + self-consistency checks for a PROFILE_pta.json document."""
+    problems = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path.name}: unreadable: {e}"]
+    for key in ("exp", "scale", "threads", "main_analysis_secs",
+                "pts_peak_words", "profile"):
+        if key not in doc:
+            problems.append(f"{path.name}: missing key {key}")
+    prof = doc.get("profile") or {}
+    records = prof.get("records")
+    if not records:
+        problems.append(f"{path.name}: profile.records is empty")
+        return problems
+    for i, rec in enumerate(records):
+        missing = [k for k in PROFILE_RECORD_KEYS if k not in rec]
+        if missing:
+            problems.append(
+                f"{path.name}: records[{i}] missing {','.join(missing)}")
+            break  # one schema report is enough
+    # Attribution: the per-record timings must cover >=90% of the
+    # main_analysis wall clock — but only when the run is long enough
+    # to measure and the ring did not overflow (dropped records mean
+    # dropped nanoseconds).
+    wall = doc.get("main_analysis_secs", 0.0)
+    if wall > 0.05 and prof.get("records_dropped", 0) == 0:
+        covered = sum(
+            r.get("resolve_ns", 0) + r.get("propagate_ns", 0) + r.get("merge_ns", 0)
+            for r in records) / 1e9
+        if covered < 0.9 * wall:
+            problems.append(
+                f"{path.name}: timeline covers {covered:.2f}s of "
+                f"{wall:.2f}s main_analysis wall (<90%)")
+    # Memory attribution: the retained breakdown's categories must be
+    # anchored to the recorded points-to peak.
+    mem = prof.get("memory")
+    peak = doc.get("pts_peak_words", 0)
+    if mem and peak:
+        total = mem.get("rep_words", 0) + mem.get("pending_words", 0)
+        if abs(total - peak) > 0.05 * peak:
+            problems.append(
+                f"{path.name}: memory breakdown {total} words vs "
+                f"pts_peak_words {peak} (off by >5%)")
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -136,8 +280,21 @@ def main() -> int:
         action="store_true",
         help=f"rewrite the block between `{BEGIN}` and `{END}` in README.md",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate BENCH_*.json / PROFILE_pta.json schemas and exit",
+    )
+    parser.add_argument(
+        "--dir",
+        type=Path,
+        default=ROOT,
+        help="directory holding the records (default: repo root)",
+    )
     args = parser.parse_args()
-    table = render()
+    if args.check:
+        return check(args.dir)
+    table = render(args.dir)
     if not args.update:
         print(table)
         return 0

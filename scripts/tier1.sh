@@ -10,7 +10,10 @@
 # happens against the parallel one, and a sharded `mahjong_cli` smoke
 # that checks the telemetry export parses and carries the merge-phase
 # counters (in particular `mahjong.hk_runs`, which the signature fast
-# path keeps at zero).
+# path keeps at zero). The profiler smoke runs `repro --profile` on a
+# small two-thread workload and asserts the timeline parses, carries
+# per-level records, and attributes ≥90% of the solver wall clock; the
+# schema check validates every committed BENCH/PROFILE record.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,8 +23,37 @@ cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 cargo run --release -q -p bench --bin repro -- --exp fig9 --scale 1 --threads 1
 
+profile_json="$(mktemp /tmp/tier1_profile.XXXXXX.json)"
 mahjong_metrics="$(mktemp /tmp/tier1_mahjong.XXXXXX.jsonl)"
-trap 'rm -f "$mahjong_metrics"' EXIT
+trap 'rm -f "$mahjong_metrics" "$profile_json"' EXIT
+
+cargo run --release -q -p bench --bin repro -- --exp table2 --scale 1 \
+    --programs luindex --threads 2 --budget 120 \
+    --profile --profile-json "$profile_json" > /dev/null
+python3 - "$profile_json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+prof = doc["profile"]
+records = prof["records"]
+assert records, "profile has no timeline records"
+keys = {"run", "wave", "level", "pops", "objects", "words",
+        "resolve_ns", "propagate_ns", "merge_ns", "shards", "busy_ns", "idle_ns"}
+for rec in records:
+    missing = keys - rec.keys()
+    assert not missing, f"timeline record missing {sorted(missing)}"
+assert any(r["level"] >= 0 for r in records), \
+    "no per-level records (only seed/mixed/overhead sentinels)"
+wall = doc["main_analysis_secs"]
+covered = sum(r["resolve_ns"] + r["propagate_ns"] + r["merge_ns"] for r in records) / 1e9
+if wall > 0.05 and prof["records_dropped"] == 0:
+    assert covered >= 0.9 * wall, f"timeline covers {covered:.2f}s of {wall:.2f}s wall"
+print(f"tier1: profile smoke ok ({len(records)} records, "
+      f"{covered:.2f}s/{wall:.2f}s attributed)")
+EOF
+
+python3 scripts/bench_table.py --check
+
 cargo run --release -q -p mahjong --bin mahjong_cli -- corpus/containers.jir \
     --threads 2 --metrics-json "$mahjong_metrics" > /dev/null
 python3 - "$mahjong_metrics" <<'EOF'

@@ -122,7 +122,8 @@ fn spans_nest() {
 }
 
 /// The Chrome trace export is valid JSON made of complete (`"X"`)
-/// events plus exactly one instant counters event.
+/// events, per-track `thread_name` metadata (`"M"`) events, and exactly
+/// one instant counters event.
 #[test]
 fn chrome_trace_is_valid() {
     let _guard = lock();
@@ -134,19 +135,121 @@ fn chrome_trace_is_valid() {
     let events = doc.get("traceEvents").unwrap().as_array().unwrap();
     assert!(events.len() > 1);
     let mut instants = 0;
+    let mut metas = 0;
     for ev in events {
         match ev.get("ph").unwrap().as_str().unwrap() {
             "X" => {
                 assert!(ev.get("name").unwrap().as_str().is_some());
                 assert!(ev.get("ts").unwrap().as_u64().is_some());
                 assert!(ev.get("dur").unwrap().as_u64().is_some());
-                assert!(ev.get("args").unwrap().get("depth").is_some());
+                let args = ev.get("args").unwrap();
+                // Span events carry a depth; shard events carry a wave.
+                assert!(args.get("depth").is_some() || args.get("wave").is_some());
             }
             "i" => instants += 1,
+            "M" => {
+                assert_eq!(ev.get("name").unwrap().as_str(), Some("thread_name"));
+                metas += 1;
+            }
             other => panic!("unexpected event phase `{other}`"),
         }
     }
     assert_eq!(instants, 1, "exactly one counters metadata event");
+    assert!(metas >= 1, "at least the main thread is named");
+}
+
+/// The solver timeline is deterministic: its pop/object/word totals
+/// agree with the registry counters, and an identical rerun reproduces
+/// them exactly (timings differ; work does not).
+#[test]
+fn timeline_contents_are_deterministic_on_figure1() {
+    let _guard = lock();
+    let totals = |p: &jir::Program| {
+        let pre = pta::pre_analysis(p).unwrap();
+        let _ = build_heap_abstraction(p, &pre, &MahjongConfig::default());
+        let records = obs::timeline().records();
+        assert!(!records.is_empty(), "solver runs leave timeline records");
+        let pops: u64 = records.iter().map(|r| u64::from(r.pops)).sum();
+        let objects: u64 = records.iter().map(|r| r.objects).sum();
+        let words: u64 = records.iter().map(|r| r.words).sum();
+        assert_eq!(pops, counter("pta.worklist_pops"), "timeline pops match the counter");
+        (pops, objects, words)
+    };
+    let p = load_figure1();
+    let first = totals(&p);
+    obs::reset();
+    obs::set_enabled(true);
+    let second = totals(&p);
+    assert_eq!(first, second, "rerun reproduces the timeline totals");
+}
+
+/// The timeline ring keeps the newest records once capacity is
+/// exceeded and counts what it dropped.
+#[test]
+fn timeline_ring_wraps_at_capacity() {
+    use obs::timeline::{Timeline, WaveRecord};
+    let _guard = lock();
+    let tl = Timeline::new(4, 2);
+    for wave in 0..10u32 {
+        tl.record_wave(WaveRecord { wave, pops: wave, ..WaveRecord::default() });
+    }
+    let records = tl.records();
+    assert_eq!(records.len(), 4);
+    assert_eq!(tl.records_dropped(), 6);
+    // Oldest-first order over the surviving (newest) records.
+    assert_eq!(records.iter().map(|r| r.wave).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+}
+
+/// `export_json` round-trips through the parser and mirrors the
+/// in-memory ring.
+#[test]
+fn timeline_export_roundtrips() {
+    let _guard = lock();
+    let p = load_figure1();
+    let pre = pta::pre_analysis(&p).unwrap();
+    let _ = build_heap_abstraction(&p, &pre, &MahjongConfig::default());
+
+    let tl = obs::timeline();
+    let doc = json::parse(&tl.export_json()).expect("timeline export parses");
+    let records = doc.get("records").unwrap().as_array().unwrap();
+    assert_eq!(records.len(), tl.records().len());
+    for rec in records {
+        // Sentinel levels export as small negatives, real levels as >= 0.
+        let level = rec.get("level").unwrap().as_f64().unwrap();
+        assert!(level >= -4.0, "level {level} in range");
+        for key in ["pops", "resolve_ns", "propagate_ns", "merge_ns", "shards"] {
+            assert!(rec.get(key).is_some(), "record lacks `{key}`");
+        }
+    }
+    assert!(doc.get("records_dropped").unwrap().as_u64().is_some());
+    assert!(doc.get("top_pointers").unwrap().as_array().is_some());
+}
+
+/// Quantile estimation handles the degenerate inputs: an empty
+/// snapshot reports zero everywhere, and the extreme quantiles pin to
+/// the observed min/max buckets.
+#[test]
+fn histogram_quantile_edge_cases() {
+    let _guard = lock();
+    let r = obs::registry();
+    let empty = r.histogram("smoke.empty").snapshot();
+    assert_eq!(empty.count, 0);
+    assert_eq!(empty.quantile(0.0), 0);
+    assert_eq!(empty.quantile(0.5), 0);
+    assert_eq!(empty.quantile(1.0), 0);
+    assert_eq!(empty.mean(), 0.0);
+
+    let h = r.histogram("smoke.quantiles");
+    for v in [3u64, 100, 9000] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    // q=0.0 clamps to the first observation's bucket; q=1.0 is exact.
+    assert_eq!(s.quantile(0.0), 3, "inclusive upper bound of 3's bucket [2,4)");
+    assert_eq!(s.quantile(1.0), s.max);
+    assert_eq!(s.max, 9000);
+    assert!(s.quantile(0.5) >= s.quantile(0.0));
+    assert!(s.quantile(1.0) >= s.quantile(0.5));
 }
 
 /// The full pipeline — pre-analysis, Mahjong, main analysis — on a

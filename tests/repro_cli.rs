@@ -55,6 +55,43 @@ fn known_experiment_succeeds() {
     assert!(stdout.contains("Figure 9"), "stdout: {stdout}");
 }
 
+/// `--profile` writes a parseable solver-introspection profile to the
+/// `--profile-json` path, with a run header and a non-empty timeline.
+#[test]
+fn profile_flag_writes_parseable_profile() {
+    let dir = std::env::temp_dir().join(format!("repro_profile_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile = dir.join("PROFILE_pta.json");
+
+    let out = repro()
+        .args([
+            "--exp",
+            "fig9",
+            "--scale",
+            "1",
+            "--profile",
+            "--profile-json",
+            profile.to_str().unwrap(),
+        ])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&profile).expect("profile written");
+    let doc = obs::json::parse(&text).expect("profile parses");
+    assert_eq!(doc.get("exp").unwrap().as_str(), Some("fig9"));
+    assert!(doc.get("threads").unwrap().as_u64().is_some());
+    let prof = doc.get("profile").expect("timeline export present");
+    let records = prof.get("records").unwrap().as_array().unwrap();
+    assert!(!records.is_empty(), "timeline has records");
+    for key in ["pops", "level", "resolve_ns", "propagate_ns", "merge_ns"] {
+        assert!(records[0].get(key).is_some(), "record lacks `{key}`");
+    }
+    assert!(prof.get("records_dropped").unwrap().as_u64().is_some());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The benchmark record honors `--bench-json`, refuses to clobber an
 /// existing file without `--force`, and overwrites with it. The
 /// refusal must happen *before* the experiment runs (exit is fast).
