@@ -2,46 +2,62 @@
 //! pre-analysis, and print the merged-object map.
 //!
 //! ```text
-//! mahjong-cli program.jir [--no-condition2] [--no-null] [--threads N] [--largest-repr]
-//!             [--paranoid] [--budget SECS] [--metrics-json PATH] [--trace PATH]
+//! mahjong-cli program.jir [--no-condition2] [--no-null] [--largest-repr]
+//!             [--paranoid] [--budget SECS] [shared options]
 //! ```
 //!
-//! `--threads` shards both pipeline stages: the pre-analysis solver's
-//! parallel wave propagation and Mahjong's automaton construction
-//! (results are bit-identical for any count). `--paranoid` re-verifies
-//! every signature-directed merge with Hopcroft–Karp (the runs appear
-//! in the `mahjong.hk_runs` counter, which is 0 on the default fast
-//! path). `--metrics-json` writes
-//! the telemetry registry as JSON-Lines and `--trace` writes a Chrome
-//! `trace_event` file (open in `about:tracing` / Perfetto). Set
-//! `OBS_DISABLE=1` to turn all recording into no-ops.
+//! The shared options (`--threads`, `--metrics-json`, `--trace`,
+//! `--bench-json`/`--force`, `--heartbeat`) are parsed by
+//! [`bench::cli::CommonOpts`] — the same parser and `--help` section
+//! `repro` uses. `--threads` shards both pipeline stages: the
+//! pre-analysis solver's parallel wave propagation and Mahjong's
+//! automaton construction (results are bit-identical for any count).
+//! `--paranoid` re-verifies every signature-directed merge with
+//! Hopcroft–Karp (the runs appear in the `mahjong.hk_runs` counter,
+//! which is 0 on the default fast path). Set `OBS_DISABLE=1` to turn
+//! all recording into no-ops.
 //!
 //! The paper ships Mahjong as a standalone tool that any
 //! allocation-site-based points-to framework can call; this binary is
-//! that interface for JIR programs.
+//! that interface for JIR programs. It lives in the `bench` crate
+//! (which already depends on `mahjong`) so it can share the CLI
+//! plumbing without creating a dependency cycle.
 
+use bench::cli::{CommonOpts, RecordHeader};
 use mahjong::{build_with_fpg, MahjongConfig, Representative};
 use pta::{AllocSiteAbstraction, AnalysisConfig, ContextInsensitive};
+
+const USAGE: &str = "\
+usage: mahjong-cli <program.jir> [options]
+
+mahjong-cli options:
+  --no-condition2      drop the paper's Condition 2 (field-sensitivity
+                       guard) from the merge criterion
+  --no-null            do not model null as a distinguished automaton
+                       state
+  --largest-repr       pick each class's largest object as the
+                       representative (default: first)
+  --paranoid           re-verify every signature-directed merge with
+                       Hopcroft-Karp
+  --budget SECS        abort the pre-analysis past this time budget";
 
 fn main() {
     let mut path: Option<String> = None;
     let mut config = MahjongConfig::default();
     let mut budget_secs: Option<u64> = None;
-    let mut metrics_json: Option<String> = None;
-    let mut trace: Option<String> = None;
+    let mut common = CommonOpts::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match common.try_parse(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(msg) => die(msg.as_ref()),
+        }
         match arg.as_str() {
             "--no-condition2" => config.enforce_condition2 = false,
             "--no-null" => config.model_null = false,
             "--largest-repr" => config.representative = Representative::Largest,
             "--paranoid" => config.paranoid = true,
-            "--threads" => {
-                config.threads = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| die("--threads needs a number"));
-            }
             "--budget" => {
                 budget_secs = Some(
                     args.next()
@@ -49,25 +65,17 @@ fn main() {
                         .unwrap_or_else(|| die("--budget needs a number of seconds")),
                 );
             }
-            "--metrics-json" => {
-                metrics_json =
-                    Some(args.next().unwrap_or_else(|| die("--metrics-json needs a path")));
-            }
-            "--trace" => {
-                trace = Some(args.next().unwrap_or_else(|| die("--trace needs a path")));
-            }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: mahjong-cli <program.jir> [--no-condition2] [--no-null] \
-                     [--threads N] [--largest-repr] [--paranoid] [--budget SECS] \
-                     [--metrics-json PATH] [--trace PATH]"
-                );
+                println!("{USAGE}\n\n{}", CommonOpts::HELP);
                 return;
             }
             other if path.is_none() && !other.starts_with('-') => path = Some(arg),
             other => die(&format!("unknown argument `{other}`")),
         }
     }
+    config.threads = common.resolve_threads(config.threads);
+    common.check_bench_target("mahjong-cli");
+    common.start_heartbeat("mahjong-cli");
     let path = path.unwrap_or_else(|| die("missing input program"));
     let source = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
@@ -112,14 +120,13 @@ fn main() {
         println!("{}", labels.join(" ≡ "));
     }
 
-    if let Some(p) = metrics_json {
-        std::fs::write(&p, obs::export_jsonl())
-            .unwrap_or_else(|e| die(&format!("cannot write {p}: {e}")));
-    }
-    if let Some(p) = trace {
-        std::fs::write(&p, obs::export_chrome_trace())
-            .unwrap_or_else(|e| die(&format!("cannot write {p}: {e}")));
-    }
+    let header = RecordHeader {
+        exp: "cli".to_owned(),
+        scale: 0,
+        budget_secs: budget_secs.unwrap_or(0),
+        threads: config.threads,
+    };
+    common.emit_artifacts("mahjong-cli", &header);
 }
 
 fn die(msg: &str) -> ! {

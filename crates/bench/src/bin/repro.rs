@@ -39,6 +39,7 @@
 
 use std::time::Duration;
 
+use bench::cli::{self, CommonOpts, RecordHeader};
 use bench::{fmt_count, fmt_time};
 use mahjong::MahjongConfig;
 use pta::Budget;
@@ -57,6 +58,21 @@ const EXPERIMENTS: &[&str] = &[
     "all",
 ];
 
+const USAGE: &str = "\
+usage: repro --exp NAME [options]
+
+experiments: motivation, fig8, fig9, table1, pre_analysis, table2,
+             ablations, alias, all (default)
+
+repro options:
+  --exp NAME           experiment to run (default: all)
+  --scale N            workload scale factor (default: 4)
+  --budget SECS        per-run time budget (default: 60)
+  --programs a,b,c     restrict to a comma-separated program list
+  --profile            write the solver-introspection profile
+                       (PROFILE_pta.json next to the bench record)
+  --profile-json PATH  profile destination (implies --profile)";
+
 #[derive(Debug)]
 struct Args {
     exp: String,
@@ -65,99 +81,56 @@ struct Args {
     /// Solver shard count, already resolved (`--threads 0` = auto).
     threads: usize,
     programs: Vec<String>,
-    metrics_json: Option<String>,
-    bench_json: Option<String>,
-    force: bool,
-    trace: Option<String>,
     profile: bool,
     profile_json: Option<String>,
-    /// Heartbeat period in seconds (0 = off).
-    heartbeat: u64,
+    common: CommonOpts,
 }
 
 fn parse_args() -> Args {
     let mut exp = "all".to_owned();
     let mut scale = 4;
     let mut budget = 60;
-    let mut threads = 0;
-    let mut metrics_json = None;
-    let mut bench_json = None;
-    let mut force = false;
-    let mut trace = None;
     let mut profile = false;
     let mut profile_json = None;
-    let mut heartbeat = 0u64;
+    let mut common = CommonOpts::default();
     let mut programs: Vec<String> = workloads::dacapo::PROGRAMS
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match common.try_parse(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(msg) => {
+                eprintln!("repro: {msg}");
+                std::process::exit(2);
+            }
+        }
+        match arg.as_str() {
             "--exp" => {
-                exp = argv.get(i + 1).cloned().unwrap_or_default();
-                i += 2;
+                exp = args.next().unwrap_or_default();
             }
             "--scale" => {
-                scale = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(scale);
-                i += 2;
+                scale = args.next().and_then(|s| s.parse().ok()).unwrap_or(scale);
             }
             "--budget" => {
-                budget = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(budget);
-                i += 2;
+                budget = args.next().and_then(|s| s.parse().ok()).unwrap_or(budget);
             }
             "--programs" => {
-                programs = argv
-                    .get(i + 1)
+                programs = args
+                    .next()
                     .map(|s| s.split(',').map(str::to_owned).collect())
                     .unwrap_or(programs);
-                i += 2;
             }
-            "--threads" => {
-                threads = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(threads);
-                i += 2;
-            }
-            "--metrics-json" => {
-                metrics_json = argv.get(i + 1).cloned();
-                i += 2;
-            }
-            "--bench-json" => {
-                bench_json = argv.get(i + 1).cloned();
-                i += 2;
-            }
-            "--force" => {
-                force = true;
-                i += 1;
-            }
-            "--trace" => {
-                trace = argv.get(i + 1).cloned();
-                i += 2;
-            }
-            "--profile" => {
-                profile = true;
-                i += 1;
-            }
+            "--profile" => profile = true,
             "--profile-json" => {
-                profile_json = argv.get(i + 1).cloned();
+                profile_json = args.next();
                 profile = true;
-                i += 2;
             }
-            "--heartbeat" => {
-                heartbeat = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(heartbeat);
-                i += 2;
+            "--help" | "-h" => {
+                println!("{USAGE}\n\n{}", CommonOpts::HELP);
+                std::process::exit(0);
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -169,18 +142,11 @@ fn parse_args() -> Args {
         exp,
         scale,
         budget,
-        threads: match threads {
-            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
-            n => n,
-        },
+        threads: common.resolve_threads(0),
         programs,
-        metrics_json,
-        bench_json,
-        force,
-        trace,
         profile,
         profile_json,
-        heartbeat,
+        common,
     }
 }
 
@@ -188,17 +154,8 @@ fn main() {
     let args = parse_args();
     // Validate the benchmark-record target up front: refusing to
     // clobber after a multi-minute run would throw the work away.
-    let bench_target = args
-        .bench_json
-        .clone()
-        .or_else(|| args.metrics_json.as_deref().map(bench_pta_path));
-    if let Some(bench) = &bench_target {
-        if !args.force && std::path::Path::new(bench).exists() {
-            eprintln!("repro: refusing to overwrite {bench} (pass --force to replace it)");
-            std::process::exit(1);
-        }
-    }
-    start_heartbeat(args.heartbeat);
+    args.common.check_bench_target("repro");
+    args.common.start_heartbeat("repro");
     let budget = Budget::seconds(args.budget);
     match args.exp.as_str() {
         "table2" => table2(&args, budget),
@@ -216,56 +173,18 @@ fn main() {
             std::process::exit(2);
         }
     }
-    if let Some(path) = &args.metrics_json {
-        write_or_die(path, &obs::export_jsonl());
-    }
-    if let Some(bench) = &bench_target {
-        // Re-check: a file may have appeared while the experiment ran.
-        if !args.force && std::path::Path::new(bench).exists() {
-            eprintln!("repro: refusing to overwrite {bench} (pass --force to replace it)");
-            std::process::exit(1);
-        }
-        write_or_die(bench, &bench_pta_json(&args));
-        eprintln!("repro: wrote {bench}");
-        // The Mahjong-phase record rides along as a sibling file with
-        // the same no-clobber semantics (but skipping, not aborting —
-        // the main record is already on disk at this point).
-        let mahjong = bench_mahjong_path(bench);
-        if !args.force && std::path::Path::new(&mahjong).exists() {
-            eprintln!("repro: keeping existing {mahjong} (pass --force to replace it)");
-        } else {
-            write_or_die(&mahjong, &bench_mahjong_json(&args));
-            eprintln!("repro: wrote {mahjong}");
-        }
-    }
-    if let Some(path) = &args.trace {
-        write_or_die(path, &obs::export_chrome_trace());
-    }
+    let header = RecordHeader {
+        exp: args.exp.clone(),
+        scale: args.scale,
+        budget_secs: args.budget,
+        threads: args.threads,
+    };
+    args.common.emit_artifacts("repro", &header);
     if args.profile {
-        let path = profile_path(&args, bench_target.as_deref());
-        write_or_die(&path, &profile_json(&args));
+        let path = profile_path(&args, args.common.bench_target().as_deref());
+        cli::write_or_die("repro", &path, &profile_json(&args));
         eprintln!("repro: wrote {path}");
     }
-}
-
-/// Spawns the `--heartbeat` stderr pulse (detached; dies with the
-/// process). Reads the solver's live counters, which are updated once
-/// per wave, so the pulse tracks progress without touching hot paths.
-fn start_heartbeat(secs: u64) {
-    if secs == 0 {
-        return;
-    }
-    let start = std::time::Instant::now();
-    std::thread::spawn(move || loop {
-        std::thread::sleep(Duration::from_secs(secs));
-        eprintln!(
-            "repro: [{}s] wave {} · {} pops · {} live words",
-            start.elapsed().as_secs(),
-            obs::counter("pta.live_wave_rounds").get(),
-            obs::counter("pta.live_worklist_pops").get(),
-            obs::gauge("pta.live_pts_words").get(),
-        );
-    });
 }
 
 /// `PROFILE_pta.json` lands next to the benchmark record (or in the
@@ -303,106 +222,6 @@ fn profile_json(args: &Args) -> String {
         obs::gauge("pta.pending_peak_words").get(),
         obs::timeline().export_json(),
     )
-}
-
-/// `BENCH_pta.json` lands next to the `--metrics-json` file.
-fn bench_pta_path(metrics_path: &str) -> String {
-    let p = std::path::Path::new(metrics_path);
-    p.with_file_name("BENCH_pta.json")
-        .to_string_lossy()
-        .into_owned()
-}
-
-/// A small, stable-schema benchmark record for per-PR tracking: phase
-/// wall-clock, propagation-volume counters, and the peak points-to-set
-/// footprint in 64-bit words.
-fn bench_pta_json(args: &Args) -> String {
-    let r = obs::registry();
-    let phase = |name: &str| r.phase_time(name).as_secs_f64();
-    format!(
-        "{{\n  \"exp\": \"{}\",\n  \"scale\": {},\n  \"budget_secs\": {},\n  \"threads\": {},\n  \
-         \"phase_secs\": {{\n    \"pre_analysis\": {:.6},\n    \"mahjong\": {:.6},\n    \
-         \"main_analysis\": {:.6}\n  }},\n  \
-         \"worklist_pops\": {},\n  \"propagated_objects\": {},\n  \"delta_objects\": {},\n  \
-         \"copy_edges\": {},\n  \"pts_peak_words\": {},\n  \
-         \"scc_collapsed_ptrs\": {},\n  \"collapse_sweeps\": {},\n  \"wave_rounds\": {},\n  \
-         \"par_shards\": {},\n  \"par_steal_none\": {},\n  \"wave_barrier_ns\": {}\n}}\n",
-        args.exp,
-        args.scale,
-        args.budget,
-        args.threads,
-        phase("pre_analysis"),
-        phase("mahjong.fpg_build") + phase("mahjong.automata_build")
-            + phase("mahjong.equivalence_check"),
-        phase("main_analysis"),
-        obs::counter("pta.worklist_pops").get(),
-        obs::counter("pta.propagated_objects").get(),
-        obs::counter("pta.delta_objects").get(),
-        obs::counter("pta.copy_edges").get(),
-        obs::gauge("pta.pts_peak_words").get(),
-        obs::counter("pta.scc_collapsed_ptrs").get(),
-        obs::counter("pta.collapse_sweeps").get(),
-        obs::counter("pta.wave_rounds").get(),
-        obs::counter("pta.par_shards").get(),
-        obs::counter("pta.par_steal_none").get(),
-        obs::counter("pta.wave_barrier_ns").get(),
-    )
-}
-
-/// The Mahjong benchmark record lands next to the pta record:
-/// `BENCH_pta.json` → `BENCH_mahjong.json`, and any other
-/// `BENCH_<label>.json` → `BENCH_mahjong_<label>.json` (the pairing
-/// `scripts/bench_table.py` reassembles).
-fn bench_mahjong_path(bench_path: &str) -> String {
-    let p = std::path::Path::new(bench_path);
-    let name = p
-        .file_name()
-        .and_then(|s| s.to_str())
-        .unwrap_or("BENCH_pta.json");
-    let sibling = if name == "BENCH_pta.json" {
-        "BENCH_mahjong.json".to_owned()
-    } else if let Some(rest) = name.strip_prefix("BENCH_") {
-        format!("BENCH_mahjong_{rest}")
-    } else {
-        format!("mahjong_{name}")
-    };
-    p.with_file_name(sibling).to_string_lossy().into_owned()
-}
-
-/// The Mahjong pre-analysis record: per-phase wall-clock plus the
-/// signature-pipeline counters (`hk_runs` is 0 on the fast path).
-fn bench_mahjong_json(args: &Args) -> String {
-    let r = obs::registry();
-    let phase = |name: &str| r.phase_time(name).as_secs_f64();
-    format!(
-        "{{\n  \"exp\": \"{}\",\n  \"scale\": {},\n  \"threads\": {},\n  \
-         \"phase_secs\": {{\n    \"fpg_build\": {:.6},\n    \"automata_build\": {:.6},\n    \
-         \"equivalence_check\": {:.6}\n  }},\n  \
-         \"objects\": {},\n  \"merged_objects\": {},\n  \"not_single_type\": {},\n  \
-         \"dfa_built\": {},\n  \"sig_buckets\": {},\n  \"hk_runs\": {},\n  \
-         \"canon_ns\": {},\n  \"shard_skew\": {}\n}}\n",
-        args.exp,
-        args.scale,
-        args.threads,
-        phase("mahjong.fpg_build"),
-        phase("mahjong.automata_build"),
-        phase("mahjong.equivalence_check"),
-        obs::counter("mahjong.objects").get(),
-        obs::counter("mahjong.merged_objects").get(),
-        obs::counter("mahjong.not_single_type").get(),
-        obs::counter("mahjong.dfa_built").get(),
-        obs::counter("mahjong.sig_buckets").get(),
-        obs::counter("mahjong.hk_runs").get(),
-        obs::counter("mahjong.canon_ns").get(),
-        obs::gauge("mahjong.shard_skew").get(),
-    )
-}
-
-fn write_or_die(path: &str, contents: &str) {
-    if let Err(e) = std::fs::write(path, contents) {
-        eprintln!("repro: cannot write {path}: {e}");
-        std::process::exit(1);
-    }
 }
 
 // --- `--exp all` with the phase-time summary -----------------------------------

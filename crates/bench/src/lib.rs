@@ -584,6 +584,8 @@ pub fn alias_tradeoff(name: &str, scale: usize, budget: Budget) -> AliasTradeoff
     }
 }
 
+pub mod cli;
+
 // --- Micro-bench harness ----------------------------------------------------------
 
 /// A dependency-free stand-in for a benchmark harness: warm-up, then

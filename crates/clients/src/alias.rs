@@ -18,7 +18,7 @@ use pta::{AnalysisResult, ObjId, PtsSet};
 pub fn may_alias(result: &AnalysisResult, a: VarId, b: VarId) -> bool {
     result
         .points_to_collapsed(a)
-        .intersects(&result.points_to_collapsed(b))
+        .intersects(result.points_to_collapsed(b))
 }
 
 /// Summary statistics of the may-alias client over a method's local
@@ -37,7 +37,7 @@ pub fn method_alias_stats(program: &Program, result: &AnalysisResult, m: MethodI
         .map(VarId::from_usize)
         .filter(|&v| program.var(v).method() == m)
         .collect();
-    let pts: Vec<(VarId, PtsSet<ObjId>)> = vars
+    let pts: Vec<(VarId, &PtsSet<ObjId>)> = vars
         .iter()
         .map(|&v| (v, result.points_to_collapsed(v)))
         .filter(|(_, p)| !p.is_empty())
@@ -46,7 +46,7 @@ pub fn method_alias_stats(program: &Program, result: &AnalysisResult, m: MethodI
     for i in 0..pts.len() {
         for j in (i + 1)..pts.len() {
             stats.pairs += 1;
-            if pts[i].1.intersects(&pts[j].1) {
+            if pts[i].1.intersects(pts[j].1) {
                 stats.aliased += 1;
             }
         }

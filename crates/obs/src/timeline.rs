@@ -142,18 +142,24 @@ pub struct ShardSpan {
 }
 
 /// A point-in-time attribution of points-to memory by population. The
-/// timeline retains the sample with the largest `rep_words` — taken at
-/// the peak run's finalize, where `rep_words` equals that run's
-/// `pts_peak_words` exactly and `pending_words` is zero.
+/// timeline retains the sample with the largest `rep_words` — samples
+/// are always taken right after a seal sweep deduplicates the rows, so
+/// the retained sample's `rep_words` equals the peak run's
+/// `pts_peak_words` exactly.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MemoryBreakdown {
     /// Solver-run id the sample came from.
     pub run: u32,
     /// Wave at which the sample was taken (0 = finalize).
     pub wave: u32,
-    /// Words held by representative points-to sets (the population
+    /// **Physical** words held by representative points-to sets: rows
+    /// sharing one interned allocation count it once (the population
     /// `pts_peak_words` measures).
     pub rep_words: u64,
+    /// **Logical** words across representative rows: every row counts
+    /// its full set, shared or not. `logical_words - rep_words` is the
+    /// footprint hash-consing saved; always `>= rep_words`.
+    pub logical_words: u64,
     /// Words held by pending (coalesced, not yet popped) delta sets.
     pub pending_words: u64,
     /// Words held by per-type cast masks (not part of
@@ -398,8 +404,8 @@ impl Timeline {
                 let _ = write!(
                     out,
                     "\"memory\":{{\"run\":{},\"wave\":{},\"rep_words\":{},\
-                     \"pending_words\":{},\"mask_words\":{}}},",
-                    m.run, m.wave, m.rep_words, m.pending_words, m.mask_words,
+                     \"logical_words\":{},\"pending_words\":{},\"mask_words\":{}}},",
+                    m.run, m.wave, m.rep_words, m.logical_words, m.pending_words, m.mask_words,
                 );
             }
             None => out.push_str("\"memory\":null,"),
@@ -483,8 +489,19 @@ mod tests {
         let t = Timeline::new(4, 4);
         assert!(t.offer_memory(MemoryBreakdown { run: 1, rep_words: 100, ..Default::default() }));
         assert!(!t.offer_memory(MemoryBreakdown { run: 2, rep_words: 50, ..Default::default() }));
-        assert!(t.offer_memory(MemoryBreakdown { run: 3, rep_words: 100, ..Default::default() }));
-        assert_eq!(t.memory().unwrap().run, 3);
+        assert!(t.offer_memory(MemoryBreakdown {
+            run: 3,
+            rep_words: 100,
+            logical_words: 240,
+            ..Default::default()
+        }));
+        let kept = t.memory().unwrap();
+        assert_eq!(kept.run, 3);
+        assert_eq!(kept.logical_words, 240);
+        let doc = crate::json::parse(&t.export_json()).expect("export parses");
+        let mem = doc.get("memory").unwrap();
+        assert_eq!(mem.get("rep_words").unwrap().as_f64(), Some(100.0));
+        assert_eq!(mem.get("logical_words").unwrap().as_f64(), Some(240.0));
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! [`pts::PtsSet::to_vec`] as the escape hatch; nothing allocates per
 //! query.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use jir::{AllocId, CallSiteId, FieldId, MethodId, TypeId, VarId};
-use pts::PtsSet;
+use pts::{PtsHandle, PtsSet, SetInterner};
 
 use crate::context::{ContextArena, CtxId};
 use crate::object::{ObjId, ObjTable};
@@ -58,9 +59,21 @@ pub struct AnalysisStats {
     pub reachable_method_contexts: u64,
     /// Distinct calling contexts created.
     pub context_count: usize,
-    /// Peak memory footprint of all points-to sets, in 64-bit words
-    /// (sets only grow, so the final footprint is the peak).
+    /// Peak **physical** memory footprint of all points-to sets, in
+    /// 64-bit words: the running max, sampled after each seal sweep, of
+    /// the deduplicated footprint (rows sharing one interned allocation
+    /// count it once). The logical (per-row) footprint travels on the
+    /// timeline as `mem_logical_words`.
     pub pts_peak_words: u64,
+    /// Distinct set contents admitted to the interner (unique
+    /// allocations ever sealed, including the shared empty set).
+    pub pts_interned: u64,
+    /// Seal operations that found their content already interned and
+    /// swapped the row onto the canonical shared allocation.
+    pub pts_dedup_hits: u64,
+    /// Nanoseconds spent in seal sweeps: fingerprinting dirty rows,
+    /// probing the interner, and evicting dead entries.
+    pub intern_probe_ns: u64,
     /// Pointers merged away by online cycle collapse (each collapsed
     /// SCC of `k` members contributes `k - 1`).
     pub scc_collapsed_ptrs: u64,
@@ -106,6 +119,9 @@ impl AnalysisStats {
         obs::counter("pta.par_shards").add(self.par_shards);
         obs::counter("pta.par_steal_none").add(self.par_steal_none);
         obs::counter("pta.wave_barrier_ns").add(self.wave_barrier_ns);
+        obs::counter("pta.pts_interned").add(self.pts_interned);
+        obs::counter("pta.pts_dedup_hits").add(self.pts_dedup_hits);
+        obs::counter("pta.intern_probe_ns").add(self.intern_probe_ns);
         let peak = obs::gauge("pta.pts_peak_words");
         if self.pts_peak_words as i64 > peak.get() {
             peak.set(self.pts_peak_words as i64);
@@ -120,13 +136,18 @@ pub struct AnalysisResult {
     objs: ObjTable,
     ptr_keys: Vec<PtrKey>,
     ptr_map: FastMap<PtrKey, PtrId>,
-    pts: Vec<PtsSet<ObjId>>,
+    pts: Vec<PtsHandle<ObjId>>,
     /// Cycle-collapse redirect table: `pts[redirect[i]]` is pointer
     /// `i`'s points-to set (collapsed pointers hand their state to a
     /// representative; members of an unfiltered copy cycle converge to
     /// identical sets at fixpoint, so the redirection is invisible in
     /// query results).
     redirect: Vec<u32>,
+    /// Context-collapsed points-to set per variable, built eagerly at
+    /// result assembly and sealed against the solver's interner so
+    /// variables with identical collapsed sets share one allocation.
+    /// Single-pointer variables just share their row's handle.
+    collapsed: FastMap<VarId, PtsHandle<ObjId>>,
     reachable: FastSet<(CtxId, MethodId)>,
     reachable_methods: FastSet<MethodId>,
     cg_edges: FastSet<(CallSiteId, MethodId)>,
@@ -134,8 +155,6 @@ pub struct AnalysisResult {
     stats: AnalysisStats,
     /// Contexts each method is analyzed under.
     method_ctxs: FastMap<MethodId, Vec<CtxId>>,
-    /// Pointer nodes per variable (all contexts).
-    var_ptrs: FastMap<VarId, Vec<PtrId>>,
     /// Sorted, deduplicated targets per call site (precomputed so
     /// `call_targets` is an O(1) borrow instead of an edge scan).
     site_targets: FastMap<CallSiteId, Vec<MethodId>>,
@@ -148,7 +167,8 @@ impl AnalysisResult {
         objs: ObjTable,
         ptr_keys: Vec<PtrKey>,
         ptr_map: FastMap<PtrKey, PtrId>,
-        pts: Vec<PtsSet<ObjId>>,
+        pts: Vec<PtsHandle<ObjId>>,
+        interner: Arc<SetInterner<ObjId>>,
         redirect: Vec<u32>,
         reachable: FastSet<(CtxId, MethodId)>,
         reachable_methods: FastSet<MethodId>,
@@ -174,6 +194,23 @@ impl AnalysisResult {
             targets.sort_unstable();
             targets.dedup();
         }
+        let mut collapsed: FastMap<VarId, PtsHandle<ObjId>> = FastMap::default();
+        for (&var, ptrs) in &var_ptrs {
+            let handle = match ptrs.as_slice() {
+                // One context: the collapsed set IS the row; share it.
+                [p] => pts[redirect[p.index()] as usize].clone(),
+                many => {
+                    let mut out = PtsSet::new();
+                    for p in many {
+                        out.union_with(&pts[redirect[p.index()] as usize]);
+                    }
+                    let mut h = PtsHandle::from_set(out);
+                    h.seal(&interner);
+                    h
+                }
+            };
+            collapsed.insert(var, handle);
+        }
         AnalysisResult {
             arena,
             objs,
@@ -181,13 +218,13 @@ impl AnalysisResult {
             ptr_map,
             pts,
             redirect,
+            collapsed,
             reachable,
             reachable_methods,
             cg_edges,
             cs_cg_edge_count,
             stats,
             method_ctxs,
-            var_ptrs,
             site_targets,
         }
     }
@@ -236,14 +273,15 @@ impl AnalysisResult {
     }
 
     /// Returns the context-insensitively collapsed points-to set of
-    /// `var`: the union over all contexts (owned — it does not exist
-    /// anywhere in solver state).
-    pub fn points_to_collapsed(&self, var: VarId) -> PtsSet<ObjId> {
-        let mut out = PtsSet::new();
-        for p in self.var_ptrs.get(&var).into_iter().flatten() {
-            out.union_with(self.resolved(*p));
+    /// `var`: the union over all contexts. Borrows from a cache built
+    /// at result assembly (variables with identical collapsed sets
+    /// share one interned allocation); the empty set if `var` never
+    /// arose. Use [`PtsSet::to_vec`] for an owned, sorted `Vec`.
+    pub fn points_to_collapsed(&self, var: VarId) -> &PtsSet<ObjId> {
+        match self.collapsed.get(&var) {
+            Some(h) => h.as_set(),
+            None => &EMPTY_PTS,
         }
-        out
     }
 
     /// Returns the points-to set of `obj.field`.
@@ -266,7 +304,7 @@ impl AnalysisResult {
     /// Resolves a pointer through the cycle-collapse redirect table to
     /// the set its representative owns.
     fn resolved(&self, p: PtrId) -> &PtsSet<ObjId> {
-        &self.pts[self.redirect[p.index()] as usize]
+        self.pts[self.redirect[p.index()] as usize].as_set()
     }
 
     /// Iterates over all `(object, field, points-to set)` triples — the

@@ -87,10 +87,32 @@
 //! workers that found the cursor already exhausted, and
 //! `pta.wave_barrier_ns` accumulates the coordinator's wait at the
 //! level barrier; all three flow into `BENCH_pta.json`.
+//!
+//! # Hash-consed rows
+//!
+//! Representative points-to sets, pending deltas, and cast masks live
+//! behind copy-on-write [`pts::PtsHandle`]s backed by one per-run
+//! [`pts::SetInterner`]. Context-sensitive runs produce thousands of
+//! bit-identical rows (the same receiver objects under many calling
+//! contexts); every [`SEAL_SWEEP_WAVES`] waves the solver *seals*
+//! dirty rows — re-interning their content so identical rows collapse
+//! onto one shared allocation — and evicts interner entries no live
+//! row references. Mutation is check-before-write: a propagation step
+//! first computes the contribution (`difference` /
+//! `difference_masked`) against the target read-only, and only a
+//! non-empty contribution touches `make_mut`, so quiescent edges never
+//! break sharing. Sealing changes allocation identity, never content,
+//! which is why every golden parity fingerprint is preserved
+//! bit-for-bit. `pta.pts_interned` / `pta.pts_dedup_hits` /
+//! `pta.intern_probe_ns` report the interner's work;
+//! `pta.pts_peak_words` becomes the peak *physical* footprint
+//! (deduplicated by allocation), with the logical (per-row) footprint
+//! reported through the timeline's memory breakdown.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsu::DisjointSets;
@@ -101,7 +123,7 @@ use obs::timeline::{
     HotPointer, MemoryBreakdown, ShardSpan, WaveRecord, LEVEL_MIXED, LEVEL_OVERHEAD, LEVEL_SEED,
     LEVEL_UNRANKED,
 };
-use pts::PtsSet;
+use pts::{PtsHandle, PtsSet, SetInterner};
 
 use crate::context::{ContextArena, ContextSelector, CtxId};
 use crate::heap::HeapAbstraction;
@@ -338,6 +360,14 @@ const TL_MEM_SAMPLE_WAVES: u64 = 64;
 /// Rows in the hottest-pointer table published at finalize.
 const TL_TOP_K: usize = 24;
 
+/// Seal-sweep period in waves: dirty representative rows and masks are
+/// re-interned (deduplicating identical contents onto one shared
+/// allocation) and dead interner entries evicted every this many
+/// waves, and once more at finalize. Sealing hashes every dirty row's
+/// elements, so it stays off the per-wave hot path; between sweeps
+/// mutated rows simply stay dirty and unique.
+const SEAL_SWEEP_WAVES: u64 = 64;
+
 /// Per-run funnel from the solver's hot loops into [`obs::timeline`].
 ///
 /// Batches worth at least [`TL_FLUSH_NS`] become standalone
@@ -475,8 +505,8 @@ struct ItemOut {
 fn shard_worker(
     batch: &[(PtrId, PtsSet<ObjId>)],
     succ: &[Vec<(PtrId, Option<TypeId>)>],
-    pts: &[PtsSet<ObjId>],
-    masks: &FastMap<TypeId, PtsSet<ObjId>>,
+    pts: &[PtsHandle<ObjId>],
+    masks: &FastMap<TypeId, PtsHandle<ObjId>>,
     cursor: &AtomicUsize,
     chunk: usize,
     ctx: Option<(ShardCtx, u32)>,
@@ -551,10 +581,12 @@ struct Solver<'a, S, H> {
 
     ptr_map: FastMap<PtrKey, PtrId>,
     ptr_keys: Vec<PtrKey>,
-    pts: Vec<PtsSet<ObjId>>,
+    pts: Vec<PtsHandle<ObjId>>,
     /// Pending (coalesced) delta per pointer; non-empty only on
     /// representatives, and only while the pointer awaits processing.
-    pending: Vec<PtsSet<ObjId>>,
+    /// Pending handles are transient (drained every wave) and are
+    /// never sealed — only the long-lived `pts` rows and masks are.
+    pending: Vec<PtsHandle<ObjId>>,
     /// Copy edges with an optional declared-type filter (cast edges).
     /// Rows live on representatives; targets are normalized lazily at
     /// processing time and eagerly at every SCC sweep.
@@ -565,7 +597,16 @@ struct Solver<'a, S, H> {
     /// Per-type object masks for cast filtering: `masks[ty]` holds every
     /// interned object whose type is a subtype of `ty`. Built lazily on
     /// the first cast against `ty`, maintained on object interning.
-    masks: FastMap<TypeId, PtsSet<ObjId>>,
+    masks: FastMap<TypeId, PtsHandle<ObjId>>,
+
+    /// The per-run hash-consing store behind every `pts` row and mask;
+    /// shared with the [`AnalysisResult`] so query-surface caches
+    /// deduplicate against the same table.
+    interner: Arc<SetInterner<ObjId>>,
+    /// The canonical sealed empty handle (interner id 0); cloned to
+    /// materialize fresh rows and to drain pending slots without
+    /// allocating.
+    empty: PtsHandle<ObjId>,
 
     /// The cycle-collapse partition over pointer ids. A pointer's
     /// per-index solver state is authoritative only on `find(p) == p`.
@@ -634,6 +675,8 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                     .collect()
             })
             .collect();
+        let interner = Arc::new(SetInterner::new());
+        let empty = interner.empty_handle();
         Solver {
             program,
             selector,
@@ -652,6 +695,8 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             stores: Vec::new(),
             calls: Vec::new(),
             masks: FastMap::default(),
+            interner,
+            empty,
             dsu: DisjointSets::new(0),
             topo: Vec::new(),
             edges_since_sweep: 0,
@@ -735,6 +780,11 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 return Err(self.overrun(fixpoint_start));
             }
             self.worklist.extend(next_wave);
+            // Seal before any memory sample so the sample sees the
+            // deduplicated footprint the sweep just established.
+            if self.stats.wave_rounds.is_multiple_of(SEAL_SWEEP_WAVES) {
+                self.seal_dirty();
+            }
             if self.tl.on {
                 obs::counter("pta.live_wave_rounds").inc();
                 let pops = self.stats.worklist_pops;
@@ -752,9 +802,12 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         let finalize_span = obs::span("solver.finalize");
         self.stats.context_count = self.arena.len();
         self.stats.call_graph_edges = self.cg_edges.len() as u64;
-        // Sets only grow, so the final footprint is the peak footprint
-        // (representatives share one set per collapsed class).
-        self.stats.pts_peak_words = self.pts_words();
+        // One last seal sweep deduplicates whatever mutated since the
+        // previous one; `seal_dirty` folds the post-seal physical
+        // footprint into the running `pts_peak_words` maximum.
+        self.seal_dirty();
+        self.stats.pts_interned = self.interner.interned();
+        self.stats.pts_dedup_hits = self.interner.dedup_hits();
         self.stats.dsu_ops = self.dsu.ops();
         if obs::enabled() {
             let pts_hist = obs::histogram("pta.points_to_set_size");
@@ -764,9 +817,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             obs::gauge("pta.pointer_nodes").set(self.pts.len() as i64);
         }
         if self.tl.on {
-            // Final memory attribution: every pending delta has been
-            // drained, so `rep_words` equals this run's peak exactly
-            // and the peak run's sample wins the retained slot.
+            // Final memory attribution. Every sample is taken right
+            // after a seal sweep, so the retained (largest-`rep_words`)
+            // sample's physical footprint is exactly the
+            // `pts_peak_words` running maximum this run reports.
             self.sample_memory(0);
             self.publish_top_pointers();
             obs::gauge("pta.pending_peak_words").set(self.pending_peak_words as i64);
@@ -777,6 +831,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             self.ptr_keys,
             self.ptr_map,
             self.pts,
+            self.interner,
             self.dsu.snapshot(),
             self.reachable,
             self.reachable_methods,
@@ -803,7 +858,9 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.stats.elapsed = self.start.elapsed();
         self.stats.context_count = self.arena.len();
         self.stats.call_graph_edges = self.cg_edges.len() as u64;
-        self.stats.pts_peak_words = self.pts_words();
+        self.seal_dirty();
+        self.stats.pts_interned = self.interner.interned();
+        self.stats.pts_dedup_hits = self.interner.dedup_hits();
         self.stats.dsu_ops = self.dsu.ops();
         if self.tl.on {
             // An aborted run may still be the process peak: sample it
@@ -822,8 +879,41 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         }
     }
 
-    fn pts_words(&self) -> u64 {
-        self.pts.iter().map(|s| s.mem_words() as u64).sum()
+    /// Points-to row footprint as `(physical, logical)` words:
+    /// physical counts each allocation once (rows sealed onto the same
+    /// interned set share one), logical counts every row as if it were
+    /// unshared — the pre-interning number, and the dedup win is their
+    /// ratio.
+    fn pts_words(&self) -> (u64, u64) {
+        let mut seen: FastSet<usize> = FastSet::default();
+        let mut physical = 0u64;
+        let mut logical = 0u64;
+        for h in &self.pts {
+            let w = h.mem_words() as u64;
+            logical += w;
+            if seen.insert(h.addr()) {
+                physical += w;
+            }
+        }
+        (physical, logical)
+    }
+
+    /// Re-interns every dirty points-to row and cast mask, evicts
+    /// interner entries nothing references anymore, and folds the
+    /// post-seal physical footprint into the `pts_peak_words` running
+    /// maximum. Probe time lands in `intern_probe_ns`.
+    fn seal_dirty(&mut self) {
+        let t0 = Instant::now();
+        for h in &mut self.pts {
+            h.seal(&self.interner);
+        }
+        for h in self.masks.values_mut() {
+            h.seal(&self.interner);
+        }
+        self.interner.evict_dead();
+        self.stats.intern_probe_ns += t0.elapsed().as_nanos() as u64;
+        let (physical, _) = self.pts_words();
+        self.stats.pts_peak_words = self.stats.pts_peak_words.max(physical);
     }
 
     /// Takes one memory-attribution sample (`wave` 0 = finalize) and
@@ -831,20 +921,23 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
     /// retained (largest-`rep_words`) sample. Scans every set, so
     /// callers keep it off the per-wave hot path.
     fn sample_memory(&mut self, wave: u32) {
-        let rep_words = self.pts_words();
+        let (rep_words, logical_words) = self.pts_words();
         let pending_words: u64 = self.pending.iter().map(|s| s.mem_words() as u64).sum();
         let mask_words: u64 = self.masks.values().map(|s| s.mem_words() as u64).sum();
         self.pending_peak_words = self.pending_peak_words.max(pending_words);
+        self.stats.pts_peak_words = self.stats.pts_peak_words.max(rep_words);
         obs::gauge("pta.live_pts_words").set(rep_words as i64);
         let retained = obs::timeline().offer_memory(MemoryBreakdown {
             run: self.tl.run,
             wave,
             rep_words,
+            logical_words,
             pending_words,
             mask_words,
         });
         if retained {
             obs::gauge("pta.mem_rep_words").set(rep_words as i64);
+            obs::gauge("pta.mem_logical_words").set(logical_words as i64);
             obs::gauge("pta.mem_pending_words").set(pending_words as i64);
             obs::gauge("pta.mem_mask_words").set(mask_words as i64);
         }
@@ -972,8 +1065,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             let ptr = PtrId(pi);
             // A stale entry (pointer collapsed into a representative
             // or already drained by an earlier duplicate) carries no
-            // pending delta; skip it without counting a pop.
-            let delta = std::mem::take(&mut self.pending[ptr.index()]);
+            // pending delta; skip it without counting a pop. Draining
+            // swaps in the shared empty handle and unwraps the taken
+            // handle in place (pending handles are uniquely owned).
+            let delta = self.take_pending(ptr).into_set();
             if delta.is_empty() {
                 continue;
             }
@@ -1052,9 +1147,9 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 }
                 wave.pop();
                 let ptr = PtrId(pi);
-                let delta = std::mem::take(&mut self.pending[ptr.index()]);
+                let delta = self.take_pending(ptr);
                 if !delta.is_empty() {
-                    batch.push((ptr, delta));
+                    batch.push((ptr, delta.into_set()));
                 }
             }
             if batch.is_empty() {
@@ -1198,11 +1293,14 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             while end < slots.len() && slots[end].0 == target {
                 end += 1;
             }
+            // Every contribution was computed as a non-empty difference
+            // against this exact target state, so the merge always
+            // grows it — `make_mut` here never copies without cause.
             let delta = PtsSet::union_into_from_shards(
                 slots[si..end]
                     .iter()
                     .map(|&(_, oi, ci)| &outs[oi].1.contribs[ci].1),
-                &mut self.pts[target as usize],
+                self.pts[target as usize].make_mut(),
             );
             self.queue_delta(PtrId(target), delta);
             si = end;
@@ -1332,11 +1430,11 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
 
         let mut merged: PtsSet<ObjId> = PtsSet::new();
         let mut pend: PtsSet<ObjId> = PtsSet::new();
-        let mut olds: Vec<(PtsSet<ObjId>, bool)> = Vec::with_capacity(members.len());
+        let mut olds: Vec<(PtsHandle<ObjId>, bool)> = Vec::with_capacity(members.len());
         for &m in members {
             let mi = m as usize;
-            let pts_m = std::mem::take(&mut self.pts[mi]);
-            let pend_m = std::mem::take(&mut self.pending[mi]);
+            let pts_m = std::mem::replace(&mut self.pts[mi], self.empty.clone());
+            let pend_m = self.take_pending(PtrId(m));
             pend.union_with(&pend_m);
             merged.union_with(&pts_m);
             olds.push((pts_m, self.has_consumers(mi)));
@@ -1385,9 +1483,9 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.calls[r] = calls_r;
 
         self.stats.scc_collapsed_ptrs += (members.len() - 1) as u64;
-        self.pts[r] = merged;
+        self.pts[r] = PtsHandle::from_set(merged);
         if !pend.is_empty() {
-            self.pending[r] = pend;
+            self.pending[r] = PtsHandle::from_set(pend);
             self.worklist.push_back(PtrId(r as u32));
         }
     }
@@ -1537,8 +1635,8 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         let p = PtrId(u32::try_from(self.ptr_keys.len()).expect("too many pointers"));
         self.ptr_map.insert(key, p);
         self.ptr_keys.push(key);
-        self.pts.push(PtsSet::new());
-        self.pending.push(PtsSet::new());
+        self.pts.push(self.empty.clone());
+        self.pending.push(self.empty.clone());
         self.succ.push(Vec::new());
         self.loads.push(Vec::new());
         self.stores.push(Vec::new());
@@ -1565,7 +1663,9 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             let oty = self.objs.ty(obj);
             for (&ty, mask) in self.masks.iter_mut() {
                 if self.program.is_subtype(oty, ty) {
-                    mask.insert(obj);
+                    // The object is new, so the insert always grows the
+                    // mask — `make_mut` never copies without cause.
+                    mask.make_mut().insert(obj);
                 }
             }
         }
@@ -1584,7 +1684,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 mask.insert(o);
             }
         }
-        self.masks.insert(ty, mask);
+        self.masks.insert(ty, PtsHandle::from_set(mask));
     }
 
     /// Returns `true` if anything observes the pointer's points-to set:
@@ -1613,42 +1713,44 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         if delta.is_empty() || !self.has_consumers(ptr.index()) {
             return;
         }
-        let pending = &mut self.pending[ptr.index()];
-        let newly_dirty = pending.is_empty();
-        pending.union_with(&delta);
-        if newly_dirty {
+        let i = ptr.index();
+        if self.pending[i].is_empty() {
+            // Empty slots hold the shared empty handle; adopt the delta
+            // wholesale instead of copying into it.
+            self.pending[i] = PtsHandle::from_set(delta);
             self.worklist.push_back(ptr);
+        } else {
+            // A non-empty pending handle is uniquely owned (built by
+            // `from_set` above), so `make_mut` mutates in place.
+            self.pending[i].make_mut().union_with(&delta);
         }
+    }
+
+    /// Drains the pointer's pending handle, leaving the shared empty
+    /// handle behind.
+    fn take_pending(&mut self, ptr: PtrId) -> PtsHandle<ObjId> {
+        std::mem::replace(&mut self.pending[ptr.index()], self.empty.clone())
     }
 
     /// Seeds `objs` into `pts(ptr)`, enqueueing the genuinely new part.
+    /// Check-before-mutate: membership is probed read-only first, so a
+    /// fully redundant seed never un-shares the row.
     fn add_objects(&mut self, ptr: PtrId, objs: impl IntoIterator<Item = ObjId>) {
         let ptr = self.rep(ptr);
-        let set = &mut self.pts[ptr.index()];
         let mut delta = PtsSet::new();
-        for o in objs {
-            if set.insert(o) {
-                delta.insert(o);
+        {
+            let set = &self.pts[ptr.index()];
+            for o in objs {
+                if !set.contains(o) {
+                    delta.insert(o);
+                }
             }
         }
-        self.queue_delta(ptr, delta);
-    }
-
-    /// Borrows two distinct points-to sets, source shared and target
-    /// mutable, out of the arena.
-    fn two_sets(
-        pts: &mut [PtsSet<ObjId>],
-        src: usize,
-        dst: usize,
-    ) -> (&PtsSet<ObjId>, &mut PtsSet<ObjId>) {
-        debug_assert_ne!(src, dst);
-        if src < dst {
-            let (lo, hi) = pts.split_at_mut(dst);
-            (&lo[src], &mut hi[0])
-        } else {
-            let (lo, hi) = pts.split_at_mut(src);
-            (&hi[0], &mut lo[dst])
+        if delta.is_empty() {
+            return;
         }
+        self.pts[ptr.index()].make_mut().union_with(&delta);
+        self.queue_delta(ptr, delta);
     }
 
     /// Adds the copy edge `from → to` (optionally type-filtered) and
@@ -1676,11 +1778,18 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         if let Some(ty) = filter {
             self.ensure_mask(ty);
         }
-        let (src, dst) = Self::two_sets(&mut self.pts, from.index(), to.index());
+        // Share the source allocation (cheap `Arc` clone) so the replay
+        // can mutate the target row; only a non-empty contribution
+        // touches the target's copy-on-write path.
+        let src = self.pts[from.index()].share();
         let delta = match filter {
-            None => src.union_into(dst),
-            Some(ty) => src.union_into_masked(&self.masks[&ty], dst),
+            None => src.difference(&self.pts[to.index()]),
+            Some(ty) => src.difference_masked(&self.masks[&ty], &self.pts[to.index()]),
         };
+        if delta.is_empty() {
+            return;
+        }
+        self.pts[to.index()].make_mut().union_with(&delta);
         self.queue_delta(to, delta);
     }
 
@@ -1711,10 +1820,11 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             if let Some(ty) = filter {
                 self.ensure_mask(ty);
             }
-            let dst = &mut self.pts[to.index()];
+            // Contribution first (read-only), copy-on-write only when
+            // it is non-empty: quiescent edges leave sharing intact.
             let d = match filter {
-                None => delta.union_into(dst),
-                Some(ty) => delta.union_into_masked(&self.masks[&ty], dst),
+                None => delta.difference(&self.pts[to.index()]),
+                Some(ty) => delta.difference_masked(&self.masks[&ty], &self.pts[to.index()]),
             };
             if d.is_empty() {
                 // Lazy cycle detection: the delta crossed `ptr → to`
@@ -1728,6 +1838,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                     self.lcd_candidates.push((ptr, to));
                 }
             } else {
+                self.pts[to.index()].make_mut().union_with(&d);
                 self.queue_delta(to, d);
             }
         }

@@ -56,7 +56,7 @@ fn andersen_is_field_sensitive() {
     let a = var_named(&p, main, "a");
     let pts = r.points_to_collapsed(a);
     assert_eq!(pts.len(), 1, "field-sensitive: a points to exactly o6");
-    let ty = r.obj_type(only(&pts));
+    let ty = r.obj_type(only(pts));
     assert_eq!(p.type_name(ty), "C");
 }
 
@@ -118,7 +118,7 @@ fn cast_filters_incompatible_objects() {
     assert_eq!(r.points_to_collapsed(x).len(), 2);
     let y_pts = r.points_to_collapsed(y);
     assert_eq!(y_pts.len(), 1, "cast lets only the B object through");
-    assert_eq!(p.type_name(r.obj_type(only(&y_pts))), "B");
+    assert_eq!(p.type_name(r.obj_type(only(y_pts))), "B");
 }
 
 /// The classic context-sensitivity litmus test: an identity method called
@@ -204,8 +204,8 @@ fn object_sensitivity_separates_receivers() {
     let g2p = r.points_to_collapsed(g2);
     assert_eq!(g1p.len(), 1, "2obj: b1.get() sees only p");
     assert_eq!(g2p.len(), 1, "2obj: b2.get() sees only q");
-    assert_eq!(p.type_name(r.obj_type(only(&g1p))), "P");
-    assert_eq!(p.type_name(r.obj_type(only(&g2p))), "Q");
+    assert_eq!(p.type_name(r.obj_type(only(g1p))), "P");
+    assert_eq!(p.type_name(r.obj_type(only(g2p))), "Q");
 }
 
 #[test]
@@ -255,7 +255,7 @@ fn type_sensitivity_separates_by_containing_class() {
         1,
         "2type separates Box objects allocated in different classes"
     );
-    assert_eq!(p.type_name(r.obj_type(only(&g1p))), "P");
+    assert_eq!(p.type_name(r.obj_type(only(g1p))), "P");
 }
 
 #[test]
@@ -302,7 +302,7 @@ fn arrays_flow_through_element_field() {
     let main = p.entry();
     let w = var_named(&p, main, "w");
     let pts = r.points_to_collapsed(w);
-    assert_eq!(p.type_name(r.obj_type(only(&pts))), "P");
+    assert_eq!(p.type_name(r.obj_type(only(pts))), "P");
 }
 
 #[test]

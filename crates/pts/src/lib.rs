@@ -33,9 +33,20 @@
 //! The element type is anything implementing [`Elem`] — an infallible
 //! bijection with `usize`. The `pta` crate implements it for `ObjId`;
 //! tests use `u32`.
+//!
+//! Sets that live long enough to repeat — the solver's representative
+//! rows, per-type masks, and result storage — go behind the
+//! hash-consing layer in [`intern`]: a sharded [`intern::SetInterner`]
+//! deduplicates identical contents and hands out copy-on-write
+//! [`intern::PtsHandle`]s whose equality fast-paths on the interned
+//! id.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod intern;
+
+pub use intern::{PtsHandle, SetInterner};
 
 use std::marker::PhantomData;
 
@@ -446,6 +457,22 @@ impl<T: Elem> PtsSet<T> {
                 };
                 scan.iter().any(|e| probe.contains(e))
             }
+        }
+    }
+
+    /// Whether every element of `self` is also in `other`. Dense
+    /// pairs compare word-wise; mixed pairs walk the (smaller) left
+    /// side.
+    pub fn is_subset(&self, other: &PtsSet<T>) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Dense { words: a, .. }, Repr::Dense { words: b, .. }) => a
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| x & !b.get(i).copied().unwrap_or(0) == 0),
+            _ => self.iter().all(|e| other.contains(e)),
         }
     }
 

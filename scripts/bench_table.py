@@ -15,8 +15,10 @@ instead of hand-edited numbers.
                                         # (e.g. a bench_matrix.sh sweep)
 
 The schema has grown across PRs (cycle-collapse counters arrived in
-PR 3, thread counters in PR 4); missing keys render as `-` so old
-records stay first-class rows.
+PR 3, thread counters in PR 4, hash-consing counters in PR 7);
+missing keys render as `-` so old records stay first-class rows — but
+the current `BENCH_pta.json` must carry every key the table renders,
+or `--check` fails.
 
 Since the canonical-signature merge path, `repro` also writes a
 sibling Mahjong record next to each solver record: `BENCH_pta.json`
@@ -44,6 +46,8 @@ COLUMNS = [
     ("worklist pops", ("worklist_pops",), "{:,}".format),
     ("delta objects", ("delta_objects",), "{:,}".format),
     ("pts peak (words)", ("pts_peak_words",), "{:,}".format),
+    ("pts interned", ("pts_interned",), "{:,}".format),
+    ("dedup hits", ("pts_dedup_hits",), "{:,}".format),
     ("SCC-collapsed ptrs", ("scc_collapsed_ptrs",), "{:,}".format),
     ("wave rounds", ("wave_rounds",), "{:,}".format),
     ("threads", ("threads",), str),
@@ -153,16 +157,20 @@ BASE_KEYS = [
     ("pts_peak_words",),
 ]
 
+# Every key the table renders from the solver record. The *current*
+# record (BENCH_pta.json) must carry all of them — a record whose
+# columns all print `-` is a silently broken pipeline, not a row.
+RENDERED_KEYS = [path for _, path, _ in COLUMNS]
+
 # Keys the *current* record (BENCH_pta.json) must additionally carry —
 # these arrived with later PRs and old baselines may lack them.
+# (Rendered keys like threads / scc_collapsed_ptrs / pts_interned are
+# covered by RENDERED_KEYS; this list is for non-column counters.)
 CURRENT_KEYS = [
-    ("threads",),
-    ("scc_collapsed_ptrs",),
     ("collapse_sweeps",),
-    ("wave_rounds",),
-    ("par_shards",),
     ("par_steal_none",),
     ("wave_barrier_ns",),
+    ("intern_probe_ns",),
 ]
 
 MAHJONG_KEYS = [("dfa_built",), ("sig_buckets",), ("hk_runs",), ("canon_ns",)]
@@ -197,6 +205,7 @@ def check(root: Path) -> int:
             continue
         need(path, record, BASE_KEYS)
         if path.stem == "BENCH_pta":
+            need(path, record, RENDERED_KEYS)
             need(path, record, CURRENT_KEYS)
         current = path.stem == "BENCH_pta" or re.search(r"_t\d+$", path.stem)
         sibling = mahjong_sibling(path)
@@ -260,16 +269,26 @@ def check_profile(path: Path):
             problems.append(
                 f"{path.name}: timeline covers {covered:.2f}s of "
                 f"{wall:.2f}s main_analysis wall (<90%)")
-    # Memory attribution: the retained breakdown's categories must be
-    # anchored to the recorded points-to peak.
+    # Memory attribution: samples are taken right after the solver's
+    # seal sweeps deduplicate the rows, and the timeline retains the
+    # largest one, so the breakdown's physical `rep_words` must anchor
+    # to the recorded (physical) points-to peak; the logical footprint
+    # can only be larger — it counts shared allocations once per row.
     mem = prof.get("memory")
     peak = doc.get("pts_peak_words", 0)
     if mem and peak:
-        total = mem.get("rep_words", 0) + mem.get("pending_words", 0)
-        if abs(total - peak) > 0.05 * peak:
+        rep = mem.get("rep_words", 0)
+        if abs(rep - peak) > 0.05 * peak:
             problems.append(
-                f"{path.name}: memory breakdown {total} words vs "
+                f"{path.name}: memory breakdown rep_words {rep} vs "
                 f"pts_peak_words {peak} (off by >5%)")
+        logical = mem.get("logical_words")
+        if logical is None:
+            problems.append(f"{path.name}: memory breakdown lacks logical_words")
+        elif logical < rep:
+            problems.append(
+                f"{path.name}: logical_words {logical} < rep_words {rep} "
+                f"(dedup cannot add memory)")
     return problems
 
 

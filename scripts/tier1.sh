@@ -10,7 +10,9 @@
 # happens against the parallel one, and a sharded `mahjong_cli` smoke
 # that checks the telemetry export parses and carries the merge-phase
 # counters (in particular `mahjong.hk_runs`, which the signature fast
-# path keeps at zero). The profiler smoke runs `repro --profile` on a
+# path keeps at zero, and `pta.pts_interned`, which is nonzero whenever
+# the solver's hash-consing seal sweeps ran). The profiler smoke runs
+# `repro --profile` on a
 # small two-thread workload and asserts the timeline parses, carries
 # per-level records, and attributes ≥90% of the solver wall clock; the
 # schema check validates every committed BENCH/PROFILE record.
@@ -23,9 +25,13 @@ cargo clippy --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 cargo run --release -q -p bench --bin repro -- --exp fig9 --scale 1 --threads 1
 
-profile_json="$(mktemp /tmp/tier1_profile.XXXXXX.json)"
-mahjong_metrics="$(mktemp /tmp/tier1_mahjong.XXXXXX.jsonl)"
-trap 'rm -f "$mahjong_metrics" "$profile_json"' EXIT
+# A private scratch dir: `--metrics-json` makes both binaries write a
+# BENCH_pta.json sibling and refuse to clobber an existing one, so the
+# smokes must not share /tmp with anything.
+scratch="$(mktemp -d /tmp/tier1.XXXXXX)"
+trap 'rm -rf "$scratch"' EXIT
+profile_json="$scratch/tier1_profile.json"
+mahjong_metrics="$scratch/tier1_mahjong.jsonl"
 
 cargo run --release -q -p bench --bin repro -- --exp table2 --scale 1 \
     --programs luindex --threads 2 --budget 120 \
@@ -54,7 +60,7 @@ EOF
 
 python3 scripts/bench_table.py --check
 
-cargo run --release -q -p mahjong --bin mahjong_cli -- corpus/containers.jir \
+cargo run --release -q -p bench --bin mahjong_cli -- corpus/containers.jir \
     --threads 2 --metrics-json "$mahjong_metrics" > /dev/null
 python3 - "$mahjong_metrics" <<'EOF'
 import json, sys
@@ -67,5 +73,8 @@ with open(sys.argv[1]) as f:
             counters[rec["name"]] = rec["value"]
 assert "mahjong.hk_runs" in counters, f"mahjong.hk_runs missing from {sorted(counters)}"
 assert counters["mahjong.hk_runs"] == 0, f"fast path ran HK: {counters['mahjong.hk_runs']}"
-print(f"tier1: mahjong_cli smoke ok ({len(counters)} counters, hk_runs=0)")
+assert "pta.pts_interned" in counters, f"pta.pts_interned missing from {sorted(counters)}"
+assert counters["pta.pts_interned"] > 0, "solver sealed no points-to sets"
+print(f"tier1: mahjong_cli smoke ok ({len(counters)} counters, hk_runs=0, "
+      f"pts_interned={counters['pta.pts_interned']})")
 EOF

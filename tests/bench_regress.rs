@@ -87,6 +87,36 @@ fn mahjong_fast_path_stays_hk_free() {
     );
 }
 
+/// The **logical** (per-row, pre-deduplication) points-to footprint of
+/// the fixed workload, measured on the solver just before hash-consing
+/// landed: 16,643 words. The interner's physical peak must undercut it
+/// — rows with identical contents share one allocation — and the
+/// dedup counter must show the sharing actually happened. Update the
+/// baseline deliberately, with the measured value and the reason,
+/// whenever the workload or the set representation changes.
+const PRE_INTERN_PEAK_WORDS: u64 = 16_643;
+
+#[test]
+fn hash_consing_reduces_physical_pts_footprint() {
+    let w = workloads::dacapo::workload("luindex", 2);
+    let result = AnalysisConfig::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+        .budget(Budget::seconds(120))
+        .run(&w.program)
+        .expect("luindex@2 under 2cs fits a 120s budget");
+    let stats = result.stats();
+    assert!(
+        stats.pts_dedup_hits > 0,
+        "no seal ever found its content already interned; hash-consing is inert"
+    );
+    assert!(stats.pts_interned > 0, "the interner admitted nothing");
+    assert!(
+        stats.pts_peak_words < PRE_INTERN_PEAK_WORDS,
+        "physical peak {} >= pre-intern logical baseline {PRE_INTERN_PEAK_WORDS}; \
+         interned rows are not sharing allocations",
+        stats.pts_peak_words
+    );
+}
+
 /// The fixed workload contains copy cycles, so the collapse machinery
 /// must actually fire — guards against silently disabling it.
 #[test]

@@ -75,7 +75,7 @@ fn figure1_mahjong_preserves_precision() {
     let a = var_named(&p, "a");
     let pts = r.points_to_collapsed(a);
     assert!(!pts.is_empty());
-    for o in &pts {
+    for o in pts {
         assert_eq!(p.type_name(r.obj_type(o)), "C");
     }
 }

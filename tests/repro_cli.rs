@@ -1,10 +1,62 @@
 //! CLI behavior of the `repro` binary that the experiment tables don't
-//! exercise: argument validation and error reporting.
+//! exercise: argument validation, error reporting, and the shared-flag
+//! contract with `mahjong_cli` (both binaries parse the shared options
+//! through `bench::cli::CommonOpts` and render the same help section).
 
 use std::process::Command;
 
 fn repro() -> Command {
     Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn mahjong_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mahjong_cli"))
+}
+
+/// Both binaries answer `--help` with their own usage followed by one
+/// identical shared-options section — the single rendering
+/// `bench::cli` owns. A drift between the two is a bug.
+#[test]
+fn help_renders_one_shared_section_in_both_binaries() {
+    let extract_shared = |cmd: &mut Command| {
+        let out = cmd.arg("--help").output().expect("binary runs");
+        assert!(out.status.success(), "--help must exit 0");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let at = stdout
+            .find("shared options:")
+            .unwrap_or_else(|| panic!("no shared section in:\n{stdout}"));
+        stdout[at..].to_owned()
+    };
+    let from_repro = extract_shared(&mut repro());
+    let from_mahjong = extract_shared(&mut mahjong_cli());
+    assert_eq!(from_repro, from_mahjong, "the shared help section drifted");
+    for flag in ["--threads", "--metrics-json", "--trace", "--bench-json", "--force", "--heartbeat"]
+    {
+        assert!(from_repro.contains(flag), "shared section lacks {flag}");
+    }
+}
+
+/// Both binaries reject unknown flags loudly, echoing the bad flag.
+#[test]
+fn unknown_flags_fail_in_both_binaries() {
+    for mut cmd in [repro(), mahjong_cli()] {
+        let out = cmd.arg("--bogus").output().expect("binary runs");
+        assert!(!out.status.success(), "--bogus must exit non-zero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("unknown argument `--bogus`"), "stderr: {stderr}");
+    }
+}
+
+/// A shared flag with a malformed value fails identically through the
+/// one parser (no silent fallback to a default).
+#[test]
+fn malformed_shared_flag_values_fail_in_both_binaries() {
+    for mut cmd in [repro(), mahjong_cli()] {
+        let out = cmd.args(["--threads", "lots"]).output().expect("binary runs");
+        assert!(!out.status.success(), "--threads lots must exit non-zero");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--threads needs a number"), "stderr: {stderr}");
+    }
 }
 
 /// An unknown experiment name must fail loudly: non-zero exit, the bad

@@ -181,16 +181,14 @@ fn assert_sound(
     observations: &[(VarId, jir::AllocId)],
     repr: impl Fn(jir::AllocId) -> jir::AllocId,
 ) {
-    // Deduplicate observations and cache collapsed points-to sets per
-    // variable — executions repeat the same bindings constantly.
+    // Deduplicate observations — executions repeat the same bindings
+    // constantly. Collapsed points-to queries are cached borrows on the
+    // result side, so no per-variable cache is needed here.
     let unique: std::collections::HashSet<(VarId, jir::AllocId)> =
         observations.iter().copied().collect();
-    let mut pts_cache: HashMap<VarId, pta::PtsSet<pta::ObjId>> = HashMap::new();
     for (var, site) in unique {
         let expected = repr(site);
-        let pts = pts_cache
-            .entry(var)
-            .or_insert_with(|| result.points_to_collapsed(var));
+        let pts = result.points_to_collapsed(var);
         let covered = pts.iter().any(|o| result.obj_alloc(o) == expected);
         assert!(
             covered,
