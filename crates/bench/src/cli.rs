@@ -256,7 +256,8 @@ pub fn bench_pta_json(h: &RecordHeader) -> String {
          \"copy_edges\": {},\n  \"pts_peak_words\": {},\n  \
          \"pts_interned\": {},\n  \"pts_dedup_hits\": {},\n  \"intern_probe_ns\": {},\n  \
          \"scc_collapsed_ptrs\": {},\n  \"collapse_sweeps\": {},\n  \"wave_rounds\": {},\n  \
-         \"par_shards\": {},\n  \"par_steal_none\": {},\n  \"wave_barrier_ns\": {}\n}}\n",
+         \"par_shards\": {},\n  \"par_steal_none\": {},\n  \"wave_barrier_ns\": {},\n  \
+         \"par_merge_shards\": {},\n  \"mask_ranges\": {},\n  \"range_union_hits\": {}\n}}\n",
         h.exp,
         h.scale,
         h.budget_secs,
@@ -279,6 +280,9 @@ pub fn bench_pta_json(h: &RecordHeader) -> String {
         obs::counter("pta.par_shards").get(),
         obs::counter("pta.par_steal_none").get(),
         obs::counter("pta.wave_barrier_ns").get(),
+        obs::counter("pta.par_merge_shards").get(),
+        obs::counter("pta.mask_ranges").get(),
+        obs::counter("pta.range_union_hits").get(),
     )
 }
 

@@ -55,6 +55,7 @@
 mod context;
 mod heap;
 pub mod naive;
+pub mod numbering;
 mod object;
 mod result;
 mod solver;
@@ -65,7 +66,7 @@ pub use context::{
     ObjectSensitive, TypeSensitive,
 };
 pub use heap::{AllocSiteAbstraction, AllocTypeAbstraction, HeapAbstraction, MergedObjectMap};
-pub use object::{ObjId, ObjTable};
+pub use object::{Numbering, ObjId, ObjTable};
 pub use pts::PtsSet;
 pub use result::{AnalysisResult, AnalysisStats};
 pub use solver::{pre_analysis, AnalysisConfig, Budget, PtrId, PtrKey, Unscalable};

@@ -1,0 +1,236 @@
+//! Hierarchy-aware object numbering.
+//!
+//! The solver's cast filters need, per filter type `T`, the set of
+//! interned objects whose runtime type is a subtype of `T`. Under
+//! discovery-order numbering that set is arbitrary and must be
+//! materialized as a mask bitmap; this module instead hands out object
+//! ids so that **each type's objects occupy a few contiguous id runs**,
+//! letting the solver compile every cast mask down to a short
+//! [`pts::IdRanges`] list (see `Improving bit-vector representation of
+//! points-to sets using class hierarchy`, arXiv:1108.2683).
+//!
+//! Two pieces:
+//!
+//! - [`TypeOrder`] ranks every `TypeId` by **class-hierarchy preorder**:
+//!   classes in a preorder walk of the single-inheritance class tree
+//!   (so a class cone — the class plus all transitive subclasses — is
+//!   one contiguous rank interval), and array types banded after the
+//!   classes by dimension, then by base-class preorder (array
+//!   covariance makes an array cone contiguous within its dimension
+//!   band). Interface cones are genuine unions of class subtrees and
+//!   map to one interval per implementing subtree.
+//! - [`ObjNumbering`] allocates object ids online, without knowing the
+//!   final object count: every allocated type gets an initial **lane**
+//!   sized by its static allocation-site count, laid out in
+//!   [`TypeOrder`] rank order so related lanes are adjacent; when
+//!   context sensitivity overflows a lane, the type gets a **spill
+//!   chunk** at the id-space frontier whose capacity doubles with the
+//!   type's population, bounding a type's runs at O(log objects).
+//!
+//! Unfilled lane/chunk slack ids are never handed out, so they never
+//! appear in any points-to set: a range table may cover them for free.
+//! The id space is therefore *sparse*; `ObjTable` keeps the id ↔
+//! discovery-slot permutation, and golden fingerprints canonicalize
+//! through the discovery index so results stay bit-identical modulo
+//! the renumbering.
+
+use jir::{ClassId, Program, TypeId, TypeKind};
+
+/// Class-hierarchy preorder ranks over every `TypeId` of a program.
+#[derive(Debug)]
+pub struct TypeOrder {
+    /// `rank[ty]` = position of `ty` in the hierarchy order.
+    rank: Vec<u32>,
+}
+
+impl TypeOrder {
+    /// Computes the order for `program` (O(classes + types log types)).
+    pub fn new(program: &Program) -> Self {
+        let nc = program.class_count();
+        let mut children: Vec<Vec<ClassId>> = vec![Vec::new(); nc];
+        let mut roots: Vec<ClassId> = Vec::new();
+        for c in program.class_ids() {
+            match program.class(c).superclass() {
+                Some(s) => children[s.index()].push(c),
+                None => roots.push(c),
+            }
+        }
+        let mut pre = vec![0u32; nc];
+        let mut next = 0u32;
+        let mut stack: Vec<ClassId> = roots;
+        stack.reverse();
+        while let Some(c) = stack.pop() {
+            pre[c.index()] = next;
+            next += 1;
+            // Children pushed in reverse so siblings keep id order —
+            // the walk is deterministic for a given program.
+            for &k in children[c.index()].iter().rev() {
+                stack.push(k);
+            }
+        }
+        // Sort types by (array dimension, base-class preorder): classes
+        // first (dimension 0), then arrays banded per dimension.
+        let nt = program.type_count();
+        let mut keyed: Vec<(u64, u32)> = (0..nt)
+            .map(|t| {
+                let ty = TypeId::from_usize(t);
+                let (dim, base) = base_class(program, ty);
+                ((u64::from(dim) << 32) | u64::from(pre[base.index()]), t as u32)
+            })
+            .collect();
+        keyed.sort_unstable();
+        let mut rank = vec![0u32; nt];
+        for (r, &(_, t)) in keyed.iter().enumerate() {
+            rank[t as usize] = r as u32;
+        }
+        TypeOrder { rank }
+    }
+
+    /// The hierarchy rank of `ty` (lower = earlier in preorder).
+    pub fn rank(&self, ty: TypeId) -> u32 {
+        self.rank[ty.index()]
+    }
+}
+
+/// Unwraps array nesting: `(dimension, ultimate base class)`.
+fn base_class(program: &Program, mut ty: TypeId) -> (u32, ClassId) {
+    let mut dim = 0u32;
+    loop {
+        match program.ty(ty) {
+            TypeKind::Class(c) => return (dim, c),
+            TypeKind::Array { elem } => {
+                dim += 1;
+                ty = elem;
+            }
+        }
+    }
+}
+
+/// Minimum spill-chunk capacity: a type whose lane overflows gets at
+/// least this many ids per chunk even while its population is tiny.
+const MIN_SPILL: u32 = 4;
+
+/// Online allocator of hierarchy-ordered object ids (see module docs).
+#[derive(Debug)]
+pub struct ObjNumbering {
+    /// Next free id in the type's current lane/chunk.
+    next: Vec<u32>,
+    /// One-past-the-end of the type's current lane/chunk.
+    end: Vec<u32>,
+    /// Ids handed out so far per type (sizes the next spill chunk).
+    filled: Vec<u32>,
+    /// First id past every lane and chunk handed out — the id-space
+    /// size, including unfilled slack.
+    frontier: u32,
+}
+
+impl ObjNumbering {
+    /// Lays out one lane per allocated type, in [`TypeOrder`] rank
+    /// order, sized by the type's static allocation-site count.
+    pub fn new(program: &Program) -> Self {
+        let order = TypeOrder::new(program);
+        let nt = program.type_count();
+        let mut sites = vec![0u32; nt];
+        for a in program.alloc_ids() {
+            sites[program.alloc(a).ty().index()] += 1;
+        }
+        let mut lanes: Vec<u32> = (0..nt as u32).filter(|&t| sites[t as usize] > 0).collect();
+        lanes.sort_unstable_by_key(|&t| order.rank(TypeId::from_usize(t as usize)));
+        let mut next = vec![0u32; nt];
+        let mut end = vec![0u32; nt];
+        let mut frontier = 0u32;
+        for &t in &lanes {
+            next[t as usize] = frontier;
+            frontier += sites[t as usize];
+            end[t as usize] = frontier;
+        }
+        ObjNumbering {
+            next,
+            end,
+            filled: vec![0; nt],
+            frontier,
+        }
+    }
+
+    /// Hands out the next id for an object of runtime type `ty`.
+    pub fn assign(&mut self, ty: TypeId) -> u32 {
+        let t = ty.index();
+        if self.next[t] == self.end[t] {
+            // Lane (or previous chunk) exhausted: open a spill chunk at
+            // the frontier, doubling with the type's population.
+            let cap = self.filled[t].max(MIN_SPILL);
+            self.next[t] = self.frontier;
+            self.end[t] = self.frontier + cap;
+            self.frontier = self.end[t];
+        }
+        let id = self.next[t];
+        self.next[t] += 1;
+        self.filled[t] += 1;
+        id
+    }
+
+    /// The id-space size (largest handed-out id + 1, plus slack).
+    pub fn id_space(&self) -> u32 {
+        self.frontier
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn program() -> Program {
+        jir::parse(
+            "class A {
+               entry static method main() {
+                 a = new A; b = new B; c = new C; d = new D;
+                 arr = new A[]; return;
+               }
+             }
+             class B extends A {}
+             class C extends B {}
+             class D extends A {}",
+        )
+        .expect("parses")
+    }
+
+    #[test]
+    fn class_cones_are_rank_contiguous() {
+        let p = program();
+        let order = TypeOrder::new(&p);
+        let ty = |name: &str| p.class(p.class_by_name(name).unwrap()).ty();
+        let (a, b, c, d) = (ty("A"), ty("B"), ty("C"), ty("D"));
+        // The A-cone {A, B, C, D} must occupy a contiguous rank
+        // interval with A first, and the B-cone {B, C} likewise.
+        let mut cone: Vec<u32> = [a, b, c, d].iter().map(|&t| order.rank(t)).collect();
+        let a_rank = cone[0];
+        cone.sort_unstable();
+        assert_eq!(cone[0], a_rank, "root of the cone ranks first");
+        assert!(
+            cone.windows(2).all(|w| w[1] == w[0] + 1),
+            "subclass cone is not contiguous: {cone:?}"
+        );
+        assert!(
+            order.rank(b).abs_diff(order.rank(c)) == 1,
+            "B and its only subclass C must be adjacent"
+        );
+    }
+
+    #[test]
+    fn lanes_fill_before_spilling() {
+        let p = program();
+        let mut num = ObjNumbering::new(&p);
+        let a = p.class(p.class_by_name("A").unwrap()).ty();
+        let first = num.assign(a);
+        // One static A-site: the lane holds exactly one id; the next
+        // assignment spills to the frontier.
+        let initial_space = num.id_space();
+        let second = num.assign(a);
+        assert_ne!(first, second);
+        assert!(second >= initial_space, "spill goes past the initial lanes");
+        assert!(num.id_space() > second);
+        // Spill chunks are contiguous for the same type.
+        let third = num.assign(a);
+        assert_eq!(third, second + 1, "same-type spill ids are consecutive");
+    }
+}

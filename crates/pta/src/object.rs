@@ -1,17 +1,41 @@
 //! Abstract heap objects: a heap context paired with a (representative)
 //! allocation site.
+//!
+//! Object ids come from a pluggable [`Numbering`]: discovery order
+//! (dense, the historical scheme) or class-hierarchy order
+//! ([`crate::numbering::ObjNumbering`] — sparse ids laid out so each
+//! type's subtype cone is a few contiguous runs, which is what lets the
+//! solver compile cast masks down to [`pts::IdRanges`]). Either way the
+//! table keeps the id ↔ discovery-slot permutation, so results can be
+//! canonicalized independently of the numbering in effect.
 
 use jir::{AllocId, Program, TypeId};
 
 use crate::context::CtxId;
+use crate::numbering::ObjNumbering;
 use crate::util::FastMap;
+
+/// Sentinel slot for ids inside unfilled lane/chunk slack.
+const NO_SLOT: u32 = u32::MAX;
+
+/// How a run's object ids are laid out (see [`crate::numbering`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Numbering {
+    /// Dense ids in interning (discovery) order — the canonical
+    /// numbering golden fingerprints are expressed in.
+    Discovery,
+    /// Sparse ids in class-hierarchy preorder lanes, so subtype cones
+    /// compile to short range lists.
+    #[default]
+    Hierarchy,
+}
 
 /// An interned abstract heap object `(heap context, allocation site)`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjId(pub(crate) u32);
 
 impl ObjId {
-    /// Returns the arena index.
+    /// Returns the id as an index into the (possibly sparse) id space.
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -23,8 +47,10 @@ impl std::fmt::Debug for ObjId {
     }
 }
 
-/// Object ids are dense arena indices, so points-to sets over them can
-/// use the hybrid vec/bitmap representation from the `pts` crate.
+/// Object ids index the numbering's id space, so points-to sets over
+/// them can use the hybrid vec/bitmap representation from the `pts`
+/// crate (bitmap words scale with the id space, which the hierarchy
+/// numbering keeps within a small constant of the object count).
 impl pts::Elem for ObjId {
     fn into_index(self) -> usize {
         self.0 as usize
@@ -42,6 +68,14 @@ impl pts::Elem for ObjId {
 /// representative of its equivalence class.
 #[derive(Debug, Default)]
 pub struct ObjTable {
+    /// Hierarchy-mode id allocator; `None` = discovery mode (id ==
+    /// discovery slot).
+    numbering: Option<ObjNumbering>,
+    /// Id → discovery slot ([`NO_SLOT`] for slack ids never handed
+    /// out). Identity in discovery mode.
+    slot_of: Vec<u32>,
+    /// Discovery slot → id, in interning order.
+    ids: Vec<ObjId>,
     hctxs: Vec<CtxId>,
     allocs: Vec<AllocId>,
     types: Vec<TypeId>,
@@ -49,9 +83,20 @@ pub struct ObjTable {
 }
 
 impl ObjTable {
-    /// Creates an empty table.
+    /// Creates an empty table in discovery (dense-id) mode.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty table with the given numbering for `program`.
+    pub fn with_numbering(program: &Program, numbering: Numbering) -> Self {
+        ObjTable {
+            numbering: match numbering {
+                Numbering::Discovery => None,
+                Numbering::Hierarchy => Some(ObjNumbering::new(program)),
+            },
+            ..Self::default()
+        }
     }
 
     /// Interns the object `(hctx, alloc)`.
@@ -59,41 +104,77 @@ impl ObjTable {
         if let Some(&id) = self.map.get(&(hctx, alloc)) {
             return id;
         }
-        let id = ObjId(u32::try_from(self.allocs.len()).expect("too many objects"));
+        let slot = u32::try_from(self.ids.len()).expect("too many objects");
+        let ty = program.alloc(alloc).ty();
+        let id = match &mut self.numbering {
+            None => ObjId(slot),
+            Some(num) => ObjId(num.assign(ty)),
+        };
+        if self.slot_of.len() <= id.index() {
+            self.slot_of.resize(id.index() + 1, NO_SLOT);
+        }
+        self.slot_of[id.index()] = slot;
+        self.ids.push(id);
         self.hctxs.push(hctx);
         self.allocs.push(alloc);
-        self.types.push(program.alloc(alloc).ty());
+        self.types.push(ty);
         self.map.insert((hctx, alloc), id);
         id
     }
 
+    fn slot(&self, obj: ObjId) -> usize {
+        let s = self.slot_of[obj.index()];
+        debug_assert_ne!(s, NO_SLOT, "id {obj:?} was never handed out");
+        s as usize
+    }
+
     /// Returns the heap context of an object.
     pub fn heap_context(&self, obj: ObjId) -> CtxId {
-        self.hctxs[obj.index()]
+        self.hctxs[self.slot(obj)]
     }
 
     /// Returns the (representative) allocation site of an object.
     pub fn alloc(&self, obj: ObjId) -> AllocId {
-        self.allocs[obj.index()]
+        self.allocs[self.slot(obj)]
     }
 
     /// Returns the runtime type of an object.
     pub fn ty(&self, obj: ObjId) -> TypeId {
-        self.types[obj.index()]
+        self.types[self.slot(obj)]
+    }
+
+    /// Canonical (discovery-order) index of `obj`: the id it would
+    /// carry under [`Numbering::Discovery`]. Together with
+    /// [`ObjTable::by_discovery_index`] this is the old↔new id
+    /// permutation exposed through `AnalysisResult`.
+    pub fn discovery_index(&self, obj: ObjId) -> u32 {
+        self.slot_of[obj.index()]
+    }
+
+    /// The object interned `i`-th (inverse of
+    /// [`ObjTable::discovery_index`]).
+    pub fn by_discovery_index(&self, i: u32) -> ObjId {
+        self.ids[i as usize]
     }
 
     /// Returns the number of distinct abstract objects created.
     pub fn len(&self) -> usize {
-        self.allocs.len()
+        self.ids.len()
+    }
+
+    /// One past the largest id handed out — the points-to universe
+    /// size, including lane/chunk slack in hierarchy mode.
+    pub fn id_space(&self) -> usize {
+        self.slot_of.len()
     }
 
     /// Returns `true` if no objects have been created.
     pub fn is_empty(&self) -> bool {
-        self.allocs.is_empty()
+        self.ids.is_empty()
     }
 
-    /// Iterates over all object ids.
+    /// Iterates over all object ids, in discovery order.
     pub fn iter(&self) -> impl Iterator<Item = ObjId> + '_ {
-        (0..self.allocs.len()).map(|i| ObjId(i as u32))
+        self.ids.iter().copied()
     }
 }

@@ -94,6 +94,18 @@ pub struct AnalysisStats {
     /// Nanoseconds the coordinating thread spent waiting at level
     /// barriers for shard workers to finish.
     pub wave_barrier_ns: u64,
+    /// Partition workers spawned by the parallel merge phase (counted
+    /// only when a level's merge actually fanned out; zero for
+    /// sequential runs).
+    pub par_merge_shards: u64,
+    /// Total `[lo, hi)` runs across all compiled cast range tables at
+    /// the end of the run — the whole footprint of cast filtering
+    /// under the hierarchy numbering (two words per run; compare the
+    /// old `pta.mem_mask_words` bitmap cost).
+    pub mask_ranges: u64,
+    /// Filtered (cast-edge) propagation steps answered by a range
+    /// table instead of a materialized mask set.
+    pub range_union_hits: u64,
 }
 
 impl AnalysisStats {
@@ -118,10 +130,13 @@ impl AnalysisStats {
         obs::counter("pta.dsu_ops").add(self.dsu_ops);
         obs::counter("pta.par_shards").add(self.par_shards);
         obs::counter("pta.par_steal_none").add(self.par_steal_none);
+        obs::counter("pta.par_merge_shards").add(self.par_merge_shards);
         obs::counter("pta.wave_barrier_ns").add(self.wave_barrier_ns);
         obs::counter("pta.pts_interned").add(self.pts_interned);
         obs::counter("pta.pts_dedup_hits").add(self.pts_dedup_hits);
         obs::counter("pta.intern_probe_ns").add(self.intern_probe_ns);
+        obs::counter("pta.mask_ranges").add(self.mask_ranges);
+        obs::counter("pta.range_union_hits").add(self.range_union_hits);
         let peak = obs::gauge("pta.pts_peak_words");
         if self.pts_peak_words as i64 > peak.get() {
             peak.set(self.pts_peak_words as i64);
@@ -261,6 +276,21 @@ impl AnalysisResult {
     /// Iterates over all abstract objects.
     pub fn objects(&self) -> impl Iterator<Item = ObjId> + '_ {
         self.objs.iter()
+    }
+
+    /// Canonical (discovery-order) index of `obj` — the id it would
+    /// carry under [`crate::Numbering::Discovery`]. This is the old↔new
+    /// permutation of the hierarchy renumbering: fingerprints computed
+    /// over canonical indices are bit-identical regardless of the
+    /// [`crate::Numbering`] the run used.
+    pub fn obj_canonical_index(&self, obj: ObjId) -> u32 {
+        self.objs.discovery_index(obj)
+    }
+
+    /// Inverse of [`AnalysisResult::obj_canonical_index`]: the object
+    /// interned `i`-th (`i < object_count()`).
+    pub fn obj_from_canonical(&self, i: u32) -> ObjId {
+        self.objs.by_discovery_index(i)
     }
 
     // --- Points-to queries ---------------------------------------------------

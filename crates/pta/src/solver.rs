@@ -67,14 +67,14 @@
 //! and form one batch. A batch runs in three phases:
 //!
 //! 1. **Resolve** (sequential): normalize each member's copy row
-//!    through the DSU and materialize any missing cast masks — the two
-//!    pieces of solver state that are not thread-safe.
+//!    through the DSU and compile any missing cast range tables — the
+//!    two pieces of solver state that are not thread-safe.
 //! 2. **Propagate** (parallel, read-only): `std::thread::scope` shards
 //!    the batch over worker threads via chunked self-scheduling (an
 //!    atomic cursor). Each worker computes, into thread-local scratch
 //!    buffers, every copy edge's *contribution* — [`pts::PtsSet::difference`]
-//!    / [`pts::PtsSet::difference_masked`] against a frozen view of the
-//!    target sets — without writing a single byte of shared state.
+//!    / [`pts::PtsSet::difference_in_ranges`] against a frozen view of
+//!    the target sets — without writing a single byte of shared state.
 //! 3. **Merge** (sequential, deterministic): contributions are applied
 //!    target-by-target in ascending pointer-id order with
 //!    [`pts::PtsSet::union_into_from_shards`], then each member's field
@@ -90,16 +90,19 @@
 //!
 //! # Hash-consed rows
 //!
-//! Representative points-to sets, pending deltas, and cast masks live
-//! behind copy-on-write [`pts::PtsHandle`]s backed by one per-run
-//! [`pts::SetInterner`]. Context-sensitive runs produce thousands of
+//! Representative points-to sets and pending deltas live behind
+//! copy-on-write [`pts::PtsHandle`]s backed by one per-run
+//! [`pts::SetInterner`]. (Cast filters are *not* sets at all: under the
+//! hierarchy numbering each filter type's subtype cone compiles to a
+//! [`pts::IdRanges`] list of a few `[lo, hi)` runs — see
+//! [`crate::numbering`].) Context-sensitive runs produce thousands of
 //! bit-identical rows (the same receiver objects under many calling
 //! contexts); every [`SEAL_SWEEP_WAVES`] waves the solver *seals*
 //! dirty rows — re-interning their content so identical rows collapse
 //! onto one shared allocation — and evicts interner entries no live
 //! row references. Mutation is check-before-write: a propagation step
 //! first computes the contribution (`difference` /
-//! `difference_masked`) against the target read-only, and only a
+//! `difference_in_ranges`) against the target read-only, and only a
 //! non-empty contribution touches `make_mut`, so quiescent edges never
 //! break sharing. Sealing changes allocation identity, never content,
 //! which is why every golden parity fingerprint is preserved
@@ -123,11 +126,11 @@ use obs::timeline::{
     HotPointer, MemoryBreakdown, ShardSpan, WaveRecord, LEVEL_MIXED, LEVEL_OVERHEAD, LEVEL_SEED,
     LEVEL_UNRANKED,
 };
-use pts::{PtsHandle, PtsSet, SetInterner};
+use pts::{IdRanges, PtsHandle, PtsSet, SetInterner};
 
 use crate::context::{ContextArena, ContextSelector, CtxId};
 use crate::heap::HeapAbstraction;
-use crate::object::{ObjId, ObjTable};
+use crate::object::{Numbering, ObjId, ObjTable};
 use crate::result::{AnalysisResult, AnalysisStats};
 use crate::util::{FastMap, FastSet};
 
@@ -243,6 +246,7 @@ pub struct AnalysisConfig<S, H> {
     budget: Budget,
     observability: Option<bool>,
     threads: usize,
+    numbering: Numbering,
 }
 
 impl<S: ContextSelector, H: HeapAbstraction> AnalysisConfig<S, H> {
@@ -256,7 +260,22 @@ impl<S: ContextSelector, H: HeapAbstraction> AnalysisConfig<S, H> {
             budget: Budget::default(),
             observability: None,
             threads: 1,
+            numbering: Numbering::default(),
         }
+    }
+
+    /// Sets the object-id numbering scheme. The default,
+    /// [`Numbering::Hierarchy`], lays object ids out in class-hierarchy
+    /// preorder lanes so cast masks compile to short range lists;
+    /// [`Numbering::Discovery`] is the dense historical numbering.
+    /// Results are bit-identical modulo the id permutation (exposed
+    /// through [`AnalysisResult::obj_canonical_index`]).
+    ///
+    /// [`AnalysisResult::obj_canonical_index`]:
+    ///     crate::AnalysisResult::obj_canonical_index
+    pub fn numbering(mut self, numbering: Numbering) -> Self {
+        self.numbering = numbering;
+        self
     }
 
     /// Sets the worker-thread count for wave propagation (see the
@@ -302,7 +321,16 @@ impl<S: ContextSelector, H: HeapAbstraction> AnalysisConfig<S, H> {
             0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
             n => n,
         };
-        let solver = || Solver::new(program, &self.selector, &self.heap, self.budget, threads);
+        let solver = || {
+            Solver::new(
+                program,
+                &self.selector,
+                &self.heap,
+                self.budget,
+                threads,
+                self.numbering,
+            )
+        };
         match self.observability {
             None => solver().solve(),
             Some(on) => {
@@ -341,6 +369,19 @@ const PAR_MIN_BATCH: usize = 16;
 /// level of 40 pointers on an 8-thread budget spawns 5 shards, not 8).
 const PAR_SHARD_ITEMS: usize = 8;
 
+/// Minimum estimated propagate work — copy edges × delta objects,
+/// summed over the batch — before a level fans out to shard threads.
+/// Spawn plus barrier costs tens of microseconds per level, which the
+/// many small-delta levels of a converging wave never pay back; they
+/// run inline regardless of batch size. (This is what fixed t2 being
+/// *slower* than t1: two threads splitting sub-threshold levels spent
+/// more on coordination than the halved compute saved.)
+const PAR_MIN_WORK: u64 = 1024;
+
+/// Minimum merge groups (distinct contribution targets) before the
+/// merge phase itself fans out to partition workers.
+const PAR_MIN_MERGE: usize = 32;
+
 /// A level batch (or coalesced run of batches) at least this expensive
 /// always gets its own timeline record; cheaper work coalesces into a
 /// `LEVEL_MIXED` residual so the record ring tracks where the time
@@ -367,6 +408,16 @@ const TL_TOP_K: usize = 24;
 /// elements, so it stays off the per-wave hot path; between sweeps
 /// mutated rows simply stay dirty and unique.
 const SEAL_SWEEP_WAVES: u64 = 64;
+
+/// Copy-row length at which `add_edge` membership switches from a
+/// linear scan of the row to a mirrored hash set. Short rows stay
+/// scan-only (cheaper and allocation-free); hub rows — field pointers
+/// replayed once per load/store-site × object — get the set.
+const EDGE_SET_MIN: usize = 48;
+
+/// A copy edge as stored in `succ` rows: target pointer plus the
+/// optional declared-type filter carried by cast edges.
+type Edge = (PtrId, Option<TypeId>);
 
 /// Per-run funnel from the solver's hot loops into [`obs::timeline`].
 ///
@@ -493,11 +544,38 @@ struct ItemOut {
     lcd: Vec<u32>,
 }
 
+/// One target row of a partitioned parallel merge: the handle swapped
+/// out of the points-to table (the owning worker mutates it freely),
+/// the span of the sorted slot list contributing to it, and the merged
+/// delta the coordinator queues after restoring the row.
+struct MergeItem {
+    target: u32,
+    row: PtsHandle<ObjId>,
+    slots: (usize, usize),
+    delta: PtsSet<ObjId>,
+}
+
+/// Merges one partition of target rows. Each [`MergeItem`] exclusively
+/// owns its row, so partitions tile the merge with no shared writes;
+/// the per-row union order (ascending slot index = ascending batch
+/// index) is the same as the sequential merge arm's.
+fn merge_partition(part: &mut [MergeItem], slots: &[(u32, usize, usize)], outs: &[(usize, ItemOut)]) {
+    for item in part {
+        let (si, end) = item.slots;
+        item.delta = PtsSet::union_into_from_shards(
+            slots[si..end]
+                .iter()
+                .map(|&(_, oi, ci)| &outs[oi].1.contribs[ci].1),
+            item.row.make_mut(),
+        );
+    }
+}
+
 /// One shard of the parallel propagate phase: claims chunks of the
 /// level batch off the shared cursor and computes, for every claimed
 /// item, its copy-edge contributions against the frozen points-to
-/// sets. Reads only — every row was DSU-normalized and every cast mask
-/// materialized by the resolve phase. Returns the tagged per-item
+/// sets. Reads only — every row was DSU-normalized and every cast
+/// range table compiled by the resolve phase. Returns the tagged per-item
 /// outputs, whether this shard claimed any chunk at all (the
 /// `pta.par_steal_none` signal), and — when `ctx` carries a
 /// `(ShardCtx, shard index)` — the shard's busy nanoseconds, recording
@@ -506,7 +584,7 @@ fn shard_worker(
     batch: &[(PtrId, PtsSet<ObjId>)],
     succ: &[Vec<(PtrId, Option<TypeId>)>],
     pts: &[PtsHandle<ObjId>],
-    masks: &FastMap<TypeId, PtsHandle<ObjId>>,
+    ranges: &FastMap<TypeId, IdRanges>,
     cursor: &AtomicUsize,
     chunk: usize,
     ctx: Option<(ShardCtx, u32)>,
@@ -531,7 +609,7 @@ fn shard_worker(
                 let ti = to.index();
                 let d = match filter {
                     None => delta.difference(&pts[ti]),
-                    Some(ty) => delta.difference_masked(&masks[&ty], &pts[ti]),
+                    Some(ty) => delta.difference_in_ranges(&ranges[&ty], &pts[ti]),
                 };
                 if d.is_empty() {
                     // Same hint as the sequential path: an unfiltered
@@ -590,14 +668,23 @@ struct Solver<'a, S, H> {
     /// Copy edges with an optional declared-type filter (cast edges).
     /// Rows live on representatives; targets are normalized lazily at
     /// processing time and eagerly at every SCC sweep.
-    succ: Vec<Vec<(PtrId, Option<TypeId>)>>,
+    succ: Vec<Vec<Edge>>,
+    /// Exact membership mirror of `succ` rows past [`EDGE_SET_MIN`]
+    /// entries. `add_edge` is called once per (edge site, replayed
+    /// object); on hub rows the linear `contains` scan is the solver's
+    /// dominant cost, so long rows carry a hash set that must always
+    /// reflect the row's exact (possibly unnormalized) contents.
+    succ_set: Vec<Option<Box<FastSet<Edge>>>>,
     loads: Vec<Vec<(FieldId, PtrId)>>,
     stores: Vec<Vec<(FieldId, PtrId)>>,
     calls: Vec<Vec<PendingCall>>,
-    /// Per-type object masks for cast filtering: `masks[ty]` holds every
-    /// interned object whose type is a subtype of `ty`. Built lazily on
-    /// the first cast against `ty`, maintained on object interning.
-    masks: FastMap<TypeId, PtsHandle<ObjId>>,
+    /// Range-compiled cast masks: `ranges[ty]` covers every interned
+    /// object whose type is a subtype of `ty`, as coalesced id runs
+    /// (short under hierarchy numbering — that is the point of the
+    /// numbering). Built lazily on the first cast against `ty`,
+    /// maintained per newly interned object; never materialized as a
+    /// set, so the old `pta.mem_mask_words` bitmap cost is gone.
+    ranges: FastMap<TypeId, IdRanges>,
 
     /// The per-run hash-consing store behind every `pts` row and mask;
     /// shared with the [`AnalysisResult`] so query-surface caches
@@ -629,6 +716,11 @@ struct Solver<'a, S, H> {
     cg_edges: FastSet<(CallSiteId, MethodId)>,
     /// Context-sensitive call-graph edge count.
     cs_cg_edges: FastSet<(CtxId, CallSiteId, CtxId, MethodId)>,
+    /// Virtual-dispatch memo: `(site, receiver type) → target`.
+    /// [`Program::dispatch`] hashes an owned `(String, usize)` key per
+    /// call; resolving each pair once makes repeat dispatches
+    /// allocation-free.
+    dispatch_cache: FastMap<(CallSiteId, TypeId), Option<MethodId>>,
     /// Per-method return variables (cached).
     return_vars: Vec<Vec<VarId>>,
 
@@ -660,6 +752,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         heap: &'a H,
         budget: Budget,
         threads: usize,
+        numbering: Numbering,
     ) -> Self {
         let return_vars = program
             .method_ids()
@@ -685,16 +778,17 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             threads: threads.max(1),
             start: Instant::now(),
             arena: ContextArena::new(),
-            objs: ObjTable::new(),
+            objs: ObjTable::with_numbering(program, numbering),
             ptr_map: FastMap::default(),
             ptr_keys: Vec::new(),
             pts: Vec::new(),
             pending: Vec::new(),
             succ: Vec::new(),
+            succ_set: Vec::new(),
             loads: Vec::new(),
             stores: Vec::new(),
             calls: Vec::new(),
-            masks: FastMap::default(),
+            ranges: FastMap::default(),
             interner,
             empty,
             dsu: DisjointSets::new(0),
@@ -706,6 +800,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             reachable_methods: FastSet::default(),
             cg_edges: FastSet::default(),
             cs_cg_edges: FastSet::default(),
+            dispatch_cache: FastMap::default(),
             return_vars,
             worklist: VecDeque::new(),
             pending_methods: VecDeque::new(),
@@ -755,7 +850,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             // off (stale ranks degenerate toward FIFO).
             let t_over = self.tl.now();
             self.apply_lcd();
-            if self.edges_since_sweep > 0 {
+            if self.edges_since_sweep >= self.boundary_sweep_threshold() {
                 self.collapse_sweep();
             }
 
@@ -809,6 +904,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.stats.pts_interned = self.interner.interned();
         self.stats.pts_dedup_hits = self.interner.dedup_hits();
         self.stats.dsu_ops = self.dsu.ops();
+        self.stats.mask_ranges = self.ranges.values().map(|r| r.run_count() as u64).sum();
         if obs::enabled() {
             let pts_hist = obs::histogram("pta.points_to_set_size");
             for set in &self.pts {
@@ -862,6 +958,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.stats.pts_interned = self.interner.interned();
         self.stats.pts_dedup_hits = self.interner.dedup_hits();
         self.stats.dsu_ops = self.dsu.ops();
+        self.stats.mask_ranges = self.ranges.values().map(|r| r.run_count() as u64).sum();
         if self.tl.on {
             // An aborted run may still be the process peak: sample it
             // so the memory categories cover whatever `pts_peak_words`
@@ -898,16 +995,14 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         (physical, logical)
     }
 
-    /// Re-interns every dirty points-to row and cast mask, evicts
-    /// interner entries nothing references anymore, and folds the
-    /// post-seal physical footprint into the `pts_peak_words` running
-    /// maximum. Probe time lands in `intern_probe_ns`.
+    /// Re-interns every dirty points-to row, evicts interner entries
+    /// nothing references anymore, and folds the post-seal physical
+    /// footprint into the `pts_peak_words` running maximum. Probe time
+    /// lands in `intern_probe_ns`. (Cast masks used to be sealed here
+    /// too; as compiled range tables they are never interned at all.)
     fn seal_dirty(&mut self) {
         let t0 = Instant::now();
         for h in &mut self.pts {
-            h.seal(&self.interner);
-        }
-        for h in self.masks.values_mut() {
             h.seal(&self.interner);
         }
         self.interner.evict_dead();
@@ -923,7 +1018,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
     fn sample_memory(&mut self, wave: u32) {
         let (rep_words, logical_words) = self.pts_words();
         let pending_words: u64 = self.pending.iter().map(|s| s.mem_words() as u64).sum();
-        let mask_words: u64 = self.masks.values().map(|s| s.mem_words() as u64).sum();
+        // Compiled range tables cost one word per run — the whole
+        // point of the compilation; this attribution used to be the
+        // mask bitmaps' footprint.
+        let mask_words: u64 = self.ranges.values().map(|r| r.mem_words() as u64).sum();
         self.pending_peak_words = self.pending_peak_words.max(pending_words);
         self.stats.pts_peak_words = self.stats.pts_peak_words.max(rep_words);
         obs::gauge("pta.live_pts_words").set(rep_words as i64);
@@ -1001,6 +1099,16 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
     /// Copy edges to accumulate before the next full SCC sweep.
     fn sweep_threshold(&self) -> usize {
         (self.pts.len() / 4).max(4096)
+    }
+
+    /// Copy edges that justify a full sweep at a wave boundary. A sweep
+    /// is O(V + E); running it after *every* edge trickle made sweeps a
+    /// top-three cost on the large workloads. Pointers added since the
+    /// last sweep rank `u32::MAX` and are processed in the trailing
+    /// unranked batch, so stale ranks cost extra pops, not correctness
+    /// — the threshold trades a few re-pops for thousands of sweeps.
+    fn boundary_sweep_threshold(&self) -> usize {
+        (self.pts.len() / 64).max(256)
     }
 
     /// Routes pointers dirtied since the last routing step: downstream
@@ -1186,9 +1294,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         let t_resolve = self.tl.now();
         let mut objects = 0u64;
         let mut words = 0u64;
+        let mut est_work = 0u64;
         // Resolve: normalize every copy row in the batch through the
-        // DSU (`Cell`-based, not `Sync`) and materialize every cast
-        // mask a shard might read. Rows stay sorted enough for the
+        // DSU (`Cell`-based, not `Sync`) and compile every cast range
+        // table a shard might read. Rows stay sorted enough for the
         // workers: duplicates introduced by normalization are harmless
         // (unions are idempotent).
         for &(ptr, ref delta) in batch {
@@ -1196,6 +1305,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             self.stats.worklist_pops += 1;
             delta_hist.record(delta.len() as u64);
             self.stats.delta_objects += delta.len() as u64;
+            est_work += self.succ[i].len() as u64 * delta.len() as u64;
             if self.has_consumers(i) {
                 self.stats.propagated_objects += delta.len() as u64;
             }
@@ -1205,12 +1315,24 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 self.hot_words[i] += delta.mem_words() as u64;
                 self.hot_pops[i] += 1;
             }
+            let mut changed = false;
             for k in 0..self.succ[i].len() {
                 let (to_raw, filter) = self.succ[i][k];
-                self.succ[i][k].0 = self.rep(to_raw);
-                if let Some(ty) = filter {
-                    self.ensure_mask(ty);
+                let to = self.rep(to_raw);
+                if to != to_raw {
+                    self.succ[i][k].0 = to;
+                    changed = true;
                 }
+                if let Some(ty) = filter {
+                    self.ensure_ranges(ty);
+                    // The propagate shards answer this edge from the
+                    // compiled table; count it here where stats are
+                    // mutable.
+                    self.stats.range_union_hits += 1;
+                }
+            }
+            if changed && self.succ_set[i].is_some() {
+                self.rebuild_succ_set(i);
             }
         }
 
@@ -1218,7 +1340,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         // cursor and compute copy-edge contributions against a frozen
         // view of the points-to sets — no shared writes at all.
         let t_prop = self.tl.now();
-        let shards = if batch.len() >= PAR_MIN_BATCH {
+        let shards = if batch.len() >= PAR_MIN_BATCH && est_work >= PAR_MIN_WORK {
             self.threads
                 .min(batch.len().div_ceil(PAR_SHARD_ITEMS))
                 .max(1)
@@ -1241,17 +1363,17 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             };
             let succ = &self.succ;
             let pts = &self.pts;
-            let masks = &self.masks;
+            let ranges = &self.ranges;
             let cursor = &cursor;
             let (outs, steal_none, barrier_ns, busy) = std::thread::scope(|s| {
                 let handles: Vec<_> = (1..shards)
                     .map(|k| {
                         let ctx = shard_ctx.map(|c| (c, k as u32));
-                        s.spawn(move || shard_worker(batch, succ, pts, masks, cursor, chunk, ctx))
+                        s.spawn(move || shard_worker(batch, succ, pts, ranges, cursor, chunk, ctx))
                     })
                     .collect();
                 let (mut outs, _, mut busy) =
-                    shard_worker(batch, succ, pts, masks, cursor, chunk, shard_ctx.map(|c| (c, 0)));
+                    shard_worker(batch, succ, pts, ranges, cursor, chunk, shard_ctx.map(|c| (c, 0)));
                 let barrier_start = Instant::now();
                 let mut steal_none = 0u64;
                 for h in handles {
@@ -1269,7 +1391,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             busy_ns = busy;
             outs
         } else {
-            shard_worker(batch, &self.succ, &self.pts, &self.masks, &cursor, batch.len(), None).0
+            shard_worker(batch, &self.succ, &self.pts, &self.ranges, &cursor, batch.len(), None).0
         };
         // Shards report in join order; batch index restores the one
         // true order before anything downstream looks at the results.
@@ -1286,6 +1408,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             }
         }
         slots.sort_unstable();
+        // Group the slot list by target: each group owns exactly one
+        // points-to row, so groups form disjoint partitions that can
+        // merge on worker threads without any synchronization.
+        let mut groups: Vec<(u32, usize, usize)> = Vec::new();
         let mut si = 0;
         while si < slots.len() {
             let target = slots[si].0;
@@ -1293,17 +1419,61 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             while end < slots.len() && slots[end].0 == target {
                 end += 1;
             }
-            // Every contribution was computed as a non-empty difference
-            // against this exact target state, so the merge always
-            // grows it — `make_mut` here never copies without cause.
-            let delta = PtsSet::union_into_from_shards(
-                slots[si..end]
-                    .iter()
-                    .map(|&(_, oi, ci)| &outs[oi].1.contribs[ci].1),
-                self.pts[target as usize].make_mut(),
-            );
-            self.queue_delta(PtrId(target), delta);
+            groups.push((target, si, end));
             si = end;
+        }
+        let merge_shards = if shards > 1 && groups.len() >= PAR_MIN_MERGE {
+            self.threads.min(groups.len().div_ceil(PAR_SHARD_ITEMS)).max(1)
+        } else {
+            1
+        };
+        if merge_shards > 1 {
+            // Partitioned parallel merge: swap every target's handle
+            // out of the table, hand workers contiguous partitions of
+            // rows they exclusively own, then restore the handles and
+            // queue the deltas sequentially in ascending target order
+            // — the exact order the sequential arm below uses, so any
+            // thread count still produces bit-identical results.
+            self.stats.par_merge_shards += merge_shards as u64;
+            let mut work: Vec<MergeItem> = groups
+                .iter()
+                .map(|&(t, si, end)| MergeItem {
+                    target: t,
+                    row: std::mem::replace(&mut self.pts[t as usize], self.empty.clone()),
+                    slots: (si, end),
+                    delta: PtsSet::new(),
+                })
+                .collect();
+            let part = work.len().div_ceil(merge_shards);
+            let slots_ref = &slots;
+            let outs_ref = &outs;
+            std::thread::scope(|s| {
+                let mut rest: &mut [MergeItem] = &mut work;
+                while rest.len() > part {
+                    let (head, tail) = rest.split_at_mut(part);
+                    s.spawn(move || merge_partition(head, slots_ref, outs_ref));
+                    rest = tail;
+                }
+                merge_partition(rest, slots_ref, outs_ref);
+            });
+            for item in work {
+                self.pts[item.target as usize] = item.row;
+                self.queue_delta(PtrId(item.target), item.delta);
+            }
+        } else {
+            for &(target, si, end) in &groups {
+                // Every contribution was computed as a non-empty
+                // difference against this exact target state, so the
+                // merge always grows it — `make_mut` here never copies
+                // without cause.
+                let delta = PtsSet::union_into_from_shards(
+                    slots[si..end]
+                        .iter()
+                        .map(|&(_, oi, ci)| &outs[oi].1.contribs[ci].1),
+                    self.pts[target as usize].make_mut(),
+                );
+                self.queue_delta(PtrId(target), delta);
+            }
         }
 
         // Quiescent edges spotted by the shards feed lazy cycle
@@ -1458,6 +1628,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         for &m in members {
             let mi = m as usize;
             succ_r.append(&mut self.succ[mi]);
+            self.succ_set[mi] = None;
             loads_r.append(&mut self.loads[mi]);
             stores_r.append(&mut self.stores[mi]);
             calls_r.append(&mut self.calls[mi]);
@@ -1478,6 +1649,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         calls_r.sort_unstable();
         calls_r.dedup();
         self.succ[r] = succ_r;
+        self.rebuild_succ_set(r);
         self.loads[r] = loads_r;
         self.stores[r] = stores_r;
         self.calls[r] = calls_r;
@@ -1623,10 +1795,23 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             row.retain(|&(to, f)| !(to.index() == i && f.is_none()));
             row.sort_unstable();
             row.dedup();
+            self.rebuild_succ_set(i);
         }
     }
 
     // --- Pointer graph primitives ----------------------------------------
+
+    /// Re-derives the membership mirror of `succ[i]` after the row was
+    /// mutated in place (normalization, collapse merge, tidy). Keeps
+    /// the invariant: a mirror exists iff the row is long, and answers
+    /// membership over exactly the row's current contents.
+    fn rebuild_succ_set(&mut self, i: usize) {
+        if self.succ[i].len() >= EDGE_SET_MIN {
+            self.succ_set[i] = Some(Box::new(self.succ[i].iter().copied().collect()));
+        } else {
+            self.succ_set[i] = None;
+        }
+    }
 
     fn ptr(&mut self, key: PtrKey) -> PtrId {
         if let Some(&p) = self.ptr_map.get(&key) {
@@ -1638,6 +1823,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.pts.push(self.empty.clone());
         self.pending.push(self.empty.clone());
         self.succ.push(Vec::new());
+        self.succ_set.push(None);
         self.loads.push(Vec::new());
         self.stores.push(Vec::new());
         self.calls.push(Vec::new());
@@ -1653,38 +1839,40 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         self.ptr(PtrKey::Var(ctx, var))
     }
 
-    /// Interns an abstract object and keeps the lazily built type masks
-    /// consistent: a mask must contain every object whose type passes
-    /// its cast, including objects interned after the mask was built.
+    /// Interns an abstract object and keeps the lazily compiled range
+    /// tables consistent: a table must cover every object whose type
+    /// passes its cast, including objects interned after it was built.
+    /// Under hierarchy numbering same-type ids are consecutive, so the
+    /// insert almost always extends an existing run in place.
     fn intern_obj(&mut self, hctx: CtxId, alloc: AllocId) -> ObjId {
         let before = self.objs.len();
         let obj = self.objs.intern(hctx, alloc, self.program);
-        if self.objs.len() > before && !self.masks.is_empty() {
+        if self.objs.len() > before && !self.ranges.is_empty() {
             let oty = self.objs.ty(obj);
-            for (&ty, mask) in self.masks.iter_mut() {
+            for (&ty, runs) in self.ranges.iter_mut() {
                 if self.program.is_subtype(oty, ty) {
-                    // The object is new, so the insert always grows the
-                    // mask — `make_mut` never copies without cause.
-                    mask.make_mut().insert(obj);
+                    runs.insert_id(obj.0);
                 }
             }
         }
         obj
     }
 
-    /// Builds the object mask for `ty` if this is the first cast
-    /// against it.
-    fn ensure_mask(&mut self, ty: TypeId) {
-        if self.masks.contains_key(&ty) {
+    /// Compiles the range table for `ty` if this is the first cast
+    /// against it: the sorted ids of every object in `ty`'s subtype
+    /// cone, coalesced into runs.
+    fn ensure_ranges(&mut self, ty: TypeId) {
+        if self.ranges.contains_key(&ty) {
             return;
         }
-        let mut mask = PtsSet::new();
-        for o in self.objs.iter() {
-            if self.program.is_subtype(self.objs.ty(o), ty) {
-                mask.insert(o);
-            }
-        }
-        self.masks.insert(ty, PtsHandle::from_set(mask));
+        let mut ids: Vec<u32> = self
+            .objs
+            .iter()
+            .filter(|&o| self.program.is_subtype(self.objs.ty(o), ty))
+            .map(|o| o.0)
+            .collect();
+        ids.sort_unstable();
+        self.ranges.insert(ty, IdRanges::from_sorted_ids(ids));
     }
 
     /// Returns `true` if anything observes the pointer's points-to set:
@@ -1762,11 +1950,25 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         if from == to && filter.is_none() {
             return;
         }
-        let row = &mut self.succ[from.index()];
-        if row.contains(&(to, filter)) {
+        let fi = from.index();
+        let entry = (to, filter);
+        let present = match &self.succ_set[fi] {
+            Some(set) => set.contains(&entry),
+            None => self.succ[fi].contains(&entry),
+        };
+        if present {
             return;
         }
-        row.push((to, filter));
+        self.succ[fi].push(entry);
+        match &mut self.succ_set[fi] {
+            Some(set) => {
+                set.insert(entry);
+            }
+            None if self.succ[fi].len() >= EDGE_SET_MIN => {
+                self.succ_set[fi] = Some(Box::new(self.succ[fi].iter().copied().collect()));
+            }
+            None => {}
+        }
         self.stats.copy_edges += 1;
         self.edges_since_sweep += 1;
         // A filtered self-edge stays in the graph (for edge-count
@@ -1776,7 +1978,7 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             return;
         }
         if let Some(ty) = filter {
-            self.ensure_mask(ty);
+            self.ensure_ranges(ty);
         }
         // Share the source allocation (cheap `Arc` clone) so the replay
         // can mutate the target row; only a non-empty contribution
@@ -1784,7 +1986,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         let src = self.pts[from.index()].share();
         let delta = match filter {
             None => src.difference(&self.pts[to.index()]),
-            Some(ty) => src.difference_masked(&self.masks[&ty], &self.pts[to.index()]),
+            Some(ty) => {
+                self.stats.range_union_hits += 1;
+                src.difference_in_ranges(&self.ranges[&ty], &self.pts[to.index()])
+            }
         };
         if delta.is_empty() {
             return;
@@ -1818,13 +2023,16 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 continue; // self-edge: never contributes
             }
             if let Some(ty) = filter {
-                self.ensure_mask(ty);
+                self.ensure_ranges(ty);
             }
             // Contribution first (read-only), copy-on-write only when
             // it is non-empty: quiescent edges leave sharing intact.
             let d = match filter {
                 None => delta.difference(&self.pts[to.index()]),
-                Some(ty) => delta.difference_masked(&self.masks[&ty], &self.pts[to.index()]),
+                Some(ty) => {
+                    self.stats.range_union_hits += 1;
+                    delta.difference_in_ranges(&self.ranges[&ty], &self.pts[to.index()])
+                }
             };
             if d.is_empty() {
                 // Lazy cycle detection: the delta crossed `ptr → to`
@@ -1891,8 +2099,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
     }
 
     fn process_method(&mut self, ctx: CtxId, method: MethodId) {
-        let body: Vec<Stmt> = self.program.method(method).body().to_vec();
-        for stmt in body {
+        // Copy the program reference out of `self` so the body borrow
+        // does not pin `self` (statement processing needs `&mut`).
+        let program = self.program;
+        for &stmt in program.method(method).body() {
             self.process_stmt(ctx, method, stmt);
         }
     }
@@ -1959,9 +2169,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                 self.add_edge(rp, lp, Some(target));
             }
             Stmt::Call(site_id) => {
-                let site = self.program.call_site(site_id).clone();
-                match (site.kind().clone(), site.target().clone()) {
-                    (CallKind::Static, CallTarget::Exact(target)) => {
+                let program = self.program;
+                let site = program.call_site(site_id);
+                match (site.kind(), site.target()) {
+                    (CallKind::Static, &CallTarget::Exact(target)) => {
                         let callee_ctx = self.selector.static_callee_context(
                             &mut self.arena,
                             ctx,
@@ -1970,10 +2181,10 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
                         );
                         self.bind_call(ctx, site_id, callee_ctx, target, None);
                     }
-                    (CallKind::Special { recv }, CallTarget::Exact(target)) => {
+                    (&CallKind::Special { recv }, &CallTarget::Exact(target)) => {
                         self.register_receiver_call(ctx, recv, site_id, Some(target));
                     }
-                    (CallKind::Virtual { recv }, CallTarget::Signature { .. }) => {
+                    (&CallKind::Virtual { recv }, CallTarget::Signature { .. }) => {
                         self.register_receiver_call(ctx, recv, site_id, None);
                     }
                     (kind, target) => {
@@ -2010,15 +2221,25 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
     }
 
     fn dispatch_call(&mut self, call: PendingCall, recv_obj: ObjId) {
-        let site = self.program.call_site(call.site);
         let target = match call.fixed_target {
             Some(t) => Some(t),
-            None => match site.target() {
-                CallTarget::Signature { name, arity } => {
-                    self.program.dispatch(self.objs.ty(recv_obj), name, *arity)
+            None => {
+                let site = self.program.call_site(call.site);
+                match site.target() {
+                    CallTarget::Signature { name, arity } => {
+                        let ty = self.objs.ty(recv_obj);
+                        match self.dispatch_cache.get(&(call.site, ty)) {
+                            Some(&t) => t,
+                            None => {
+                                let t = self.program.dispatch(ty, name, *arity);
+                                self.dispatch_cache.insert((call.site, ty), t);
+                                t
+                            }
+                        }
+                    }
+                    CallTarget::Exact(t) => Some(*t),
                 }
-                CallTarget::Exact(t) => Some(*t),
-            },
+            }
         };
         let Some(target) = target else {
             // No concrete implementation: the call site cannot resolve
@@ -2053,16 +2274,19 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
             .insert((caller_ctx, site_id, callee_ctx, target));
         self.mark_reachable(callee_ctx, target);
 
-        let callee = self.program.method(target);
+        // Borrow the callee and site through a copied-out program
+        // reference: the borrows outlive `&mut self` calls below, and
+        // binding stays allocation-free.
+        let program = self.program;
+        let callee = program.method(target);
         // `this` receives exactly the dispatching object.
         if let (Some(this), Some(obj)) = (callee.this(), recv_obj) {
             let tp = self.var_ptr(callee_ctx, this);
             self.add_objects(tp, [obj]);
         }
         // Arguments to parameters.
-        let site = self.program.call_site(site_id).clone();
-        let params: Vec<VarId> = callee.params().to_vec();
-        for (&arg, &param) in site.args().iter().zip(params.iter()) {
+        let site = program.call_site(site_id);
+        for (&arg, &param) in site.args().iter().zip(callee.params().iter()) {
             let ap = self.var_ptr(caller_ctx, arg);
             let pp = self.var_ptr(callee_ctx, param);
             self.add_edge(ap, pp, None);
@@ -2070,8 +2294,8 @@ impl<'a, S: ContextSelector, H: HeapAbstraction> Solver<'a, S, H> {
         // Returns to the result variable.
         if let Some(result) = site.result() {
             let rp = self.var_ptr(caller_ctx, result);
-            let ret_vars: Vec<VarId> = self.return_vars[target.index()].clone();
-            for rv in ret_vars {
+            for k in 0..self.return_vars[target.index()].len() {
+                let rv = self.return_vars[target.index()][k];
                 let rvp = self.var_ptr(callee_ctx, rv);
                 self.add_edge(rvp, rp, None);
             }

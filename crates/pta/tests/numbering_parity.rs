@@ -1,0 +1,162 @@
+//! Permutation invariance of the hierarchy-aware object numbering.
+//!
+//! [`pta::Numbering::Hierarchy`] hands out object ids in
+//! class-hierarchy preorder lanes (so cast filters compile to range
+//! tables), while [`pta::Numbering::Discovery`] is the historical
+//! dense interning-order scheme. The two runs flow different raw ids
+//! through every points-to set, which legitimately changes iteration
+//! and therefore interning order — but the analysis *results* must be
+//! bit-identical modulo the renumbering. This test pins that with the
+//! same canonical, interning-order-independent fingerprint used by
+//! `set_parity.rs`, across every corpus program × sensitivity, and
+//! checks the old↔new permutation `AnalysisResult` exports
+//! ([`pta::AnalysisResult::obj_canonical_index`] /
+//! [`pta::AnalysisResult::obj_from_canonical`]) is a genuine bijection
+//! onto `0..object_count`.
+
+use pta::{
+    AllocSiteAbstraction, AnalysisConfig, AnalysisResult, CallSiteSensitive, ContextInsensitive,
+    CtxElem, Numbering, ObjectSensitive,
+};
+
+/// A canonical, interning-order-independent description of one abstract
+/// object (identical to the one in `set_parity.rs`).
+fn canon_obj(r: &AnalysisResult, o: pta::ObjId) -> Vec<u64> {
+    let mut out = vec![r.obj_alloc(o).index() as u64];
+    for e in r.contexts().elems(r.obj_heap_context(o)) {
+        out.push(match *e {
+            CtxElem::CallSite(s) => 1 << 32 | s.index() as u64,
+            CtxElem::Alloc(a) => 2 << 32 | a.index() as u64,
+            CtxElem::Type(c) => 3 << 32 | c.index() as u64,
+        });
+    }
+    out
+}
+
+/// Canonical fingerprint: FNV-mixed per-variable collapsed object sets
+/// plus sorted call-graph edges, and order-invariant summary counts.
+fn fingerprint(p: &jir::Program, r: &AnalysisResult) -> (u64, usize, usize, usize, usize) {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |x: u64| {
+        h ^= x;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    for v in (0..p.var_count()).map(jir::VarId::from_usize) {
+        let mut objs: Vec<Vec<u64>> = r
+            .points_to_collapsed(v)
+            .iter()
+            .map(|o| canon_obj(r, o))
+            .collect();
+        objs.sort_unstable();
+        objs.dedup();
+        mix(v.index() as u64 ^ 0xdead);
+        for desc in objs {
+            for w in desc {
+                mix(w);
+            }
+            mix(0xfeed);
+        }
+    }
+    let mut edges: Vec<(usize, usize)> = r
+        .call_graph_edges()
+        .map(|(s, m)| (s.index(), m.index()))
+        .collect();
+    edges.sort_unstable();
+    for (s, m) in edges {
+        mix(((s as u64) << 32) | m as u64);
+    }
+    (
+        h,
+        r.total_points_to_size() as usize,
+        r.pointer_count(),
+        r.object_count(),
+        r.call_graph_edge_count(),
+    )
+}
+
+fn load(name: &str) -> jir::Program {
+    match name {
+        "figure1" | "containers" | "decorator" => {
+            let path = format!("{}/../../corpus/{name}.jir", env!("CARGO_MANIFEST_DIR"));
+            jir::parse(&std::fs::read_to_string(&path).expect("corpus file")).expect("parses")
+        }
+        other => workloads::dacapo::workload(other, 1).program,
+    }
+}
+
+fn run(p: &jir::Program, analysis: &str, numbering: Numbering) -> AnalysisResult {
+    match analysis {
+        "ci" => AnalysisConfig::new(ContextInsensitive, AllocSiteAbstraction)
+            .numbering(numbering)
+            .run(p),
+        "2cs" => AnalysisConfig::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+            .numbering(numbering)
+            .run(p),
+        "2obj" => AnalysisConfig::new(ObjectSensitive::new(2), AllocSiteAbstraction)
+            .numbering(numbering)
+            .run(p),
+        other => panic!("unknown analysis {other}"),
+    }
+    .expect("fits budget")
+}
+
+#[test]
+fn hierarchy_and_discovery_numbering_agree_on_canonical_fingerprints() {
+    for program in ["figure1", "containers", "decorator", "luindex", "pmd"] {
+        let p = load(program);
+        for analysis in ["ci", "2cs", "2obj"] {
+            let dis = run(&p, analysis, Numbering::Discovery);
+            let hier = run(&p, analysis, Numbering::Hierarchy);
+            assert_eq!(
+                fingerprint(&p, &dis),
+                fingerprint(&p, &hier),
+                "{program}/{analysis}: hierarchy renumbering changed the canonical result"
+            );
+        }
+    }
+}
+
+#[test]
+fn canonical_permutation_is_a_bijection_onto_discovery_order() {
+    for program in ["figure1", "containers", "luindex"] {
+        let p = load(program);
+        for numbering in [Numbering::Discovery, Numbering::Hierarchy] {
+            let r = run(&p, "2cs", numbering);
+            let n = r.object_count();
+            let mut seen = vec![false; n];
+            for o in r.objects() {
+                let c = r.obj_canonical_index(o);
+                assert!(
+                    (c as usize) < n && !seen[c as usize],
+                    "{program}: canonical index {c} out of range or duplicated"
+                );
+                seen[c as usize] = true;
+                assert_eq!(
+                    r.obj_from_canonical(c),
+                    o,
+                    "{program}: permutation does not round-trip"
+                );
+            }
+            assert!(seen.iter().all(|&s| s), "{program}: permutation not onto");
+            if numbering == Numbering::Discovery {
+                // Discovery mode is the identity permutation.
+                for o in r.objects() {
+                    assert_eq!(r.obj_canonical_index(o) as usize, o.index());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchy_numbering_compiles_cast_filters_to_ranges() {
+    // figure1 carries a downcast, so the solver must have compiled at
+    // least one range table and answered filtered edges from it.
+    let p = load("figure1");
+    let r = run(&p, "ci", Numbering::Hierarchy);
+    assert!(r.stats().mask_ranges > 0, "no range tables were compiled");
+    assert!(
+        r.stats().range_union_hits > 0,
+        "no filtered propagation was answered from a range table"
+    );
+}

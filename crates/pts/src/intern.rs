@@ -112,7 +112,12 @@ impl<T: Elem> SetInterner<T> {
     /// A sealed handle to the canonical empty set (id 0). Cloning the
     /// returned handle is the cheap way to materialize fresh rows.
     pub fn empty_handle(&self) -> PtsHandle<T> {
-        PtsHandle { set: self.empty.clone(), id: 0, generation: self.generation }
+        PtsHandle {
+            set: self.empty.clone(),
+            id: 0,
+            generation: self.generation,
+            fp: Some(fingerprint(&self.empty)),
+        }
     }
 
     /// Distinct set contents ever registered (the pre-interned empty
@@ -128,8 +133,10 @@ impl<T: Elem> SetInterner<T> {
     }
 
     /// Registers `set`'s content, returning the canonical `(id, Arc)`.
-    fn intern(&self, set: &Arc<PtsSet<T>>) -> (u32, Arc<PtsSet<T>>) {
-        let fp = fingerprint(set);
+    /// `fp` must be the element-stream fingerprint of `set` — passed in
+    /// so a handle that already knows it (cached at a previous seal)
+    /// skips the re-hash.
+    fn intern(&self, set: &Arc<PtsSet<T>>, fp: u128) -> (u32, Arc<PtsSet<T>>) {
         let mut shard = self.shards[shard_of(fp)].lock().unwrap();
         let bucket = shard.entry(fp).or_default();
         for (id, canon) in bucket.iter() {
@@ -187,12 +194,18 @@ pub struct PtsHandle<T: Elem> {
     id: u32,
     /// Generation of the interner that assigned `id` (0 while dirty).
     generation: u32,
+    /// Cached element-stream fingerprint of `set`, computed at most
+    /// once per content: a seal stores it, [`PtsHandle::make_mut`]
+    /// invalidates it, so re-sealing an unchanged row (e.g. into a
+    /// different interner, or after a no-op mutation cycle ended in
+    /// `seal`) never re-hashes the elements.
+    fp: Option<u128>,
 }
 
 impl<T: Elem> PtsHandle<T> {
     /// Wraps an owned set in a dirty (unsealed) handle.
     pub fn from_set(set: PtsSet<T>) -> Self {
-        PtsHandle { set: Arc::new(set), id: DIRTY, generation: 0 }
+        PtsHandle { set: Arc::new(set), id: DIRTY, generation: 0, fp: None }
     }
 
     /// Whether this handle currently carries an interned id.
@@ -232,17 +245,22 @@ impl<T: Elem> PtsHandle<T> {
     pub fn make_mut(&mut self) -> &mut PtsSet<T> {
         self.id = DIRTY;
         self.generation = 0;
+        self.fp = None;
         Arc::make_mut(&mut self.set)
     }
 
     /// Re-interns a dirty handle, adopting the canonical allocation if
     /// the content is already registered. Sealed handles are left
-    /// untouched, so sweeping a mostly-clean row store is cheap.
+    /// untouched, so sweeping a mostly-clean row store is cheap; a
+    /// handle whose fingerprint survived (cloned from a sealed handle,
+    /// or sealed before into another interner) reuses it instead of
+    /// re-hashing its elements.
     pub fn seal(&mut self, interner: &SetInterner<T>) {
         if self.is_sealed() {
             return;
         }
-        let (id, canon) = interner.intern(&self.set);
+        let fp = *self.fp.get_or_insert_with(|| fingerprint(&self.set));
+        let (id, canon) = interner.intern(&self.set, fp);
         self.set = canon;
         self.id = id;
         self.generation = interner.generation;

@@ -86,6 +86,106 @@ pub const SMALL_MAX: usize = 16;
 
 const WORD_BITS: usize = 64;
 
+/// A sorted, disjoint, coalesced list of half-open index ranges
+/// `[lo, hi)` — the compiled form of a membership mask whose members
+/// cluster into contiguous id runs.
+///
+/// The `pta` solver numbers heap objects in class-hierarchy preorder,
+/// so the subtype cone behind each cast filter is a handful of runs;
+/// storing the runs instead of a materialized mask set turns cast
+/// filtering into range-bounded word arithmetic
+/// ([`PtsSet::difference_in_ranges`], [`PtsSet::union_masked_ranges`])
+/// and shrinks the mask footprint from bitmap words to one word per
+/// run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IdRanges {
+    /// Ascending, pairwise-disjoint, non-adjacent (coalesced) runs.
+    runs: Vec<(u32, u32)>,
+}
+
+impl IdRanges {
+    /// Creates an empty range list.
+    pub const fn new() -> Self {
+        IdRanges { runs: Vec::new() }
+    }
+
+    /// Builds the coalesced runs covering exactly `ids`, which must be
+    /// sorted ascending and deduplicated.
+    pub fn from_sorted_ids(ids: impl IntoIterator<Item = u32>) -> Self {
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for id in ids {
+            match runs.last_mut() {
+                Some(last) if last.1 == id => last.1 = id + 1,
+                _ => {
+                    debug_assert!(runs.last().is_none_or(|&(_, hi)| hi < id), "ids not sorted");
+                    runs.push((id, id + 1));
+                }
+            }
+        }
+        IdRanges { runs }
+    }
+
+    /// Inserts a single id, coalescing with adjacent runs. O(log runs)
+    /// to locate, O(runs) worst case to splice — runs lists stay short
+    /// by construction.
+    pub fn insert_id(&mut self, id: u32) {
+        let pos = self.runs.partition_point(|&(_, hi)| hi <= id);
+        if self.runs.get(pos).is_some_and(|&(lo, _)| lo <= id) {
+            return; // already covered
+        }
+        let touches_prev = pos > 0 && self.runs[pos - 1].1 == id;
+        let touches_next = self.runs.get(pos).is_some_and(|&(lo, _)| lo == id + 1);
+        match (touches_prev, touches_next) {
+            (true, true) => {
+                self.runs[pos - 1].1 = self.runs[pos].1;
+                self.runs.remove(pos);
+            }
+            (true, false) => self.runs[pos - 1].1 = id + 1,
+            (false, true) => self.runs[pos].0 = id,
+            (false, false) => self.runs.insert(pos, (id, id + 1)),
+        }
+    }
+
+    /// Returns `true` if some run covers `id`.
+    pub fn contains(&self, id: u32) -> bool {
+        let pos = self.runs.partition_point(|&(_, hi)| hi <= id);
+        self.runs.get(pos).is_some_and(|&(lo, _)| lo <= id)
+    }
+
+    /// The coalesced runs, ascending and disjoint.
+    pub fn runs(&self) -> &[(u32, u32)] {
+        &self.runs
+    }
+
+    /// Number of runs (the `pta.mask_ranges` unit).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Returns `true` if no run exists.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Total ids covered across all runs.
+    pub fn covered(&self) -> u64 {
+        self.runs.iter().map(|&(lo, hi)| u64::from(hi - lo)).sum()
+    }
+
+    /// Memory footprint in 64-bit words: one word per `(lo, hi)` run.
+    pub fn mem_words(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+impl FromIterator<u32> for IdRanges {
+    /// Collects from an iterator of **sorted ascending, deduplicated**
+    /// ids (see [`IdRanges::from_sorted_ids`]).
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        IdRanges::from_sorted_ids(iter)
+    }
+}
+
 #[derive(Clone)]
 enum Repr {
     /// Sorted ascending, deduplicated element indices.
@@ -371,6 +471,89 @@ impl<T: Elem> PtsSet<T> {
         out
     }
 
+    /// Returns `(self ∩ ranges) \ other` as a fresh set — the
+    /// range-compiled twin of [`PtsSet::difference_masked`], reading
+    /// the mask as coalesced id runs instead of a materialized set.
+    ///
+    /// Dense/dense pairs do range-bounded word arithmetic: only the
+    /// words each run overlaps are touched, with partial boundary
+    /// words masked off. Anything else walks `self`'s elements through
+    /// a run cursor ([`PtsSet::iter_in_ranges`]).
+    pub fn difference_in_ranges(&self, ranges: &IdRanges, other: &PtsSet<T>) -> PtsSet<T> {
+        let mut out = PtsSet::new();
+        match (&self.repr, &other.repr) {
+            (Repr::Dense { words, .. }, Repr::Dense { words: ow, .. }) => {
+                for_range_words(ranges, words.len(), |w, m| {
+                    let keep = words[w] & m & !ow.get(w).copied().unwrap_or(0);
+                    if keep != 0 {
+                        out.push_word(w, keep);
+                    }
+                });
+            }
+            _ => {
+                for e in self.iter_in_ranges(ranges) {
+                    if !other.contains(e) {
+                        out.insert(e);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Unions `self ∩ ranges` into `target`; returns the delta — the
+    /// range-compiled twin of [`PtsSet::union_into_masked`].
+    pub fn union_masked_ranges(&self, ranges: &IdRanges, target: &mut PtsSet<T>) -> PtsSet<T> {
+        let mut delta = PtsSet::new();
+        match &self.repr {
+            Repr::Dense { words, .. } => {
+                target.promote();
+                let Repr::Dense {
+                    words: tw,
+                    len: tlen,
+                } = &mut target.repr
+                else {
+                    unreachable!("just promoted")
+                };
+                if tw.len() < words.len() {
+                    tw.resize(words.len(), 0);
+                }
+                for_range_words(ranges, words.len(), |w, m| {
+                    let add = words[w] & m & !tw[w];
+                    if add != 0 {
+                        tw[w] |= add;
+                        *tlen += add.count_ones();
+                        delta.push_word(w, add);
+                    }
+                });
+            }
+            Repr::Small(_) => {
+                for e in self.iter_in_ranges(ranges) {
+                    if target.insert(e) {
+                        delta.insert(e);
+                    }
+                }
+            }
+        }
+        delta
+    }
+
+    /// Range-bounded iteration: the elements of `self ∩ ranges` in
+    /// ascending index order. Both the set and the runs are ascending,
+    /// so one monotone run cursor filters the stream without any
+    /// per-element search.
+    pub fn iter_in_ranges<'a>(&'a self, ranges: &'a IdRanges) -> impl Iterator<Item = T> + 'a {
+        let runs = ranges.runs();
+        let mut ri = 0usize;
+        self.iter().filter(move |e| {
+            let i = e.into_index() as u32;
+            while ri < runs.len() && runs[ri].1 <= i {
+                ri += 1;
+            }
+            ri < runs.len() && runs[ri].0 <= i
+        })
+    }
+
     /// Unions every shard set into `target`, returning the combined
     /// delta (elements genuinely new to `target`) as one fresh set.
     ///
@@ -482,6 +665,34 @@ impl<T: Elem> PtsSet<T> {
         match &self.repr {
             Repr::Small(v) => v.len().div_ceil(2),
             Repr::Dense { words, .. } => words.len(),
+        }
+    }
+}
+
+/// Visits every bitmap word a run list overlaps, at most once per
+/// `(run, word)` pair, as `(word index, member-bit mask)`. Words arrive
+/// in ascending order overall (runs are sorted and disjoint; only a
+/// boundary word shared by two runs repeats, with disjoint masks).
+fn for_range_words(ranges: &IdRanges, n_words: usize, mut f: impl FnMut(usize, u64)) {
+    let limit = n_words * WORD_BITS;
+    for &(lo, hi) in ranges.runs() {
+        let (lo, hi) = (lo as usize, (hi as usize).min(limit));
+        if lo >= hi {
+            continue;
+        }
+        let (w0, w1) = (lo / WORD_BITS, (hi - 1) / WORD_BITS);
+        for w in w0..=w1 {
+            let mut m = !0u64;
+            if w == w0 {
+                m &= !0u64 << (lo % WORD_BITS);
+            }
+            if w == w1 {
+                let top = hi - w * WORD_BITS;
+                if top < WORD_BITS {
+                    m &= (1u64 << top) - 1;
+                }
+            }
+            f(w, m);
         }
     }
 }

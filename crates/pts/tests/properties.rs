@@ -8,7 +8,7 @@
 //! deliberately crossing the small→dense promotion boundary.
 
 use obs::rng::SplitMix64;
-use pts::{PtsSet, SMALL_MAX};
+use pts::{IdRanges, PtsSet, SMALL_MAX};
 use std::collections::BTreeSet;
 
 /// Universe large enough to exercise multi-word bitmaps, small enough
@@ -118,6 +118,105 @@ fn equality_is_representation_independent() {
         }
         // `detour` went through a dense promotion; contents decide.
         assert_eq!(detour.to_vec(), set.to_vec(), "dense detour, trial {trial}");
+    }
+}
+
+/// A random coalesced run list plus the equivalent materialized mask
+/// set and oracle — so every range op can be checked against the
+/// masked-set operation it replaces.
+fn random_ranges(rng: &mut SplitMix64) -> (IdRanges, PtsSet<u32>, BTreeSet<u32>) {
+    let mut ids: BTreeSet<u32> = BTreeSet::new();
+    for _ in 0..rng.below(6) {
+        let lo = rng.below(UNIVERSE) as u32;
+        let len = 1 + rng.below(96) as u32;
+        ids.extend(lo..(lo + len).min(UNIVERSE as u32));
+    }
+    let ranges = IdRanges::from_sorted_ids(ids.iter().copied());
+    let mask: PtsSet<u32> = ids.iter().copied().collect();
+    (ranges, mask, ids)
+}
+
+#[test]
+fn id_ranges_coalesce_and_answer_membership() {
+    let mut rng = SplitMix64::new(0x5eed5eed5eed5eed);
+    for trial in 0..200 {
+        let (ranges, _, ids) = random_ranges(&mut rng);
+        // Runs must be ascending, disjoint, non-adjacent, and cover
+        // exactly the oracle ids.
+        for w in ranges.runs().windows(2) {
+            assert!(w[0].1 < w[1].0, "runs not coalesced/sorted, trial {trial}");
+        }
+        assert_eq!(ranges.covered(), ids.len() as u64, "coverage, trial {trial}");
+        for _ in 0..64 {
+            let probe = rng.below(UNIVERSE) as u32;
+            assert_eq!(
+                ranges.contains(probe),
+                ids.contains(&probe),
+                "contains({probe}), trial {trial}"
+            );
+        }
+        // Incremental insertion reaches the same runs as bulk build.
+        let mut incremental = IdRanges::new();
+        let mut shuffled: Vec<u32> = ids.iter().copied().collect();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        for id in shuffled {
+            incremental.insert_id(id);
+        }
+        assert_eq!(incremental, ranges, "incremental vs bulk, trial {trial}");
+    }
+}
+
+#[test]
+fn difference_in_ranges_matches_masked_set_oracle() {
+    let mut rng = SplitMix64::new(0xc0ffee00c0ffee00);
+    for trial in 0..300 {
+        let (src, src_o) = random_set(&mut rng, 5 * SMALL_MAX as u64);
+        let (ranges, mask, mask_o) = random_ranges(&mut rng);
+        let (other, other_o) = random_set(&mut rng, 3 * SMALL_MAX as u64);
+
+        let got = src.difference_in_ranges(&ranges, &other);
+        let want = src.difference_masked(&mask, &other);
+        assert_eq!(got, want, "range vs mask difference, trial {trial}");
+        let want_o: BTreeSet<u32> = src_o
+            .iter()
+            .filter(|e| mask_o.contains(e) && !other_o.contains(e))
+            .copied()
+            .collect();
+        assert_matches(&got, &want_o, &format!("range difference, trial {trial}"));
+    }
+}
+
+#[test]
+fn union_masked_ranges_matches_masked_union_oracle() {
+    let mut rng = SplitMix64::new(0xbadc0de5badc0de5);
+    for trial in 0..300 {
+        let (src, src_o) = random_set(&mut rng, 5 * SMALL_MAX as u64);
+        let (ranges, mask, mask_o) = random_ranges(&mut rng);
+        let (mut dst_r, dst_o0) = random_set(&mut rng, 3 * SMALL_MAX as u64);
+        let mut dst_m = dst_r.clone();
+
+        let got = src.union_masked_ranges(&ranges, &mut dst_r);
+        let want = src.union_into_masked(&mask, &mut dst_m);
+        assert_eq!(got, want, "range vs mask union delta, trial {trial}");
+        assert_eq!(dst_r, dst_m, "range vs mask union target, trial {trial}");
+        let masked: BTreeSet<u32> = src_o.intersection(&mask_o).copied().collect();
+        let mut dst_o = dst_o0.clone();
+        dst_o.extend(masked.iter().copied());
+        assert_matches(&dst_r, &dst_o, &format!("range union target, trial {trial}"));
+    }
+}
+
+#[test]
+fn iter_in_ranges_matches_filtered_iteration() {
+    let mut rng = SplitMix64::new(0x1ce1ce1ce1ce1ce1);
+    for trial in 0..200 {
+        let (set, set_o) = random_set(&mut rng, 5 * SMALL_MAX as u64);
+        let (ranges, _, mask_o) = random_ranges(&mut rng);
+        let got: Vec<u32> = set.iter_in_ranges(&ranges).collect();
+        let want: Vec<u32> = set_o.iter().filter(|e| mask_o.contains(e)).copied().collect();
+        assert_eq!(got, want, "range-bounded iteration, trial {trial}");
     }
 }
 

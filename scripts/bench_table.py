@@ -52,6 +52,9 @@ COLUMNS = [
     ("wave rounds", ("wave_rounds",), "{:,}".format),
     ("threads", ("threads",), str),
     ("par shards", ("par_shards",), "{:,}".format),
+    ("merge shards", ("par_merge_shards",), "{:,}".format),
+    ("mask ranges", ("mask_ranges",), "{:,}".format),
+    ("range hits", ("range_union_hits",), "{:,}".format),
 ]
 
 # Columns sourced from the paired BENCH_mahjong*.json sibling record.
@@ -173,6 +176,15 @@ CURRENT_KEYS = [
     ("intern_probe_ns",),
 ]
 
+# Keys that arrived with the hierarchy-numbering / range-table PR.
+# Every current-generation record — BENCH_pta.json and the fresh
+# threads-sweep points — must carry them; older baselines may not.
+RANGE_KEYS = [
+    ("mask_ranges",),
+    ("range_union_hits",),
+    ("par_merge_shards",),
+]
+
 MAHJONG_KEYS = [("dfa_built",), ("sig_buckets",), ("hk_runs",), ("canon_ns",)]
 
 # Per-record keys in PROFILE_pta.json's "profile.records" entries.
@@ -208,6 +220,8 @@ def check(root: Path) -> int:
             need(path, record, RENDERED_KEYS)
             need(path, record, CURRENT_KEYS)
         current = path.stem == "BENCH_pta" or re.search(r"_t\d+$", path.stem)
+        if current:
+            need(path, record, RANGE_KEYS)
         sibling = mahjong_sibling(path)
         if sibling.exists():
             try:

@@ -21,6 +21,8 @@
 //! `BENCH_mahjong_baseline_pr4.json` pair, which `scripts/bench_table.py`
 //! renders; counters, not seconds, are what CI can assert on.
 
+use std::time::Duration;
+
 use mahjong::MahjongConfig;
 use pta::{AllocSiteAbstraction, AnalysisConfig, Budget, CallSiteSensitive};
 
@@ -114,6 +116,54 @@ fn hash_consing_reduces_physical_pts_footprint() {
         "physical peak {} >= pre-intern logical baseline {PRE_INTERN_PEAK_WORDS}; \
          interned rows are not sharing allocations",
         stats.pts_peak_words
+    );
+}
+
+/// Catastrophe ceiling on the fixed workload's whole-run wall time (an
+/// unoptimized debug build of luindex@2/2cs runs in single-digit
+/// seconds; the ceiling only trips on order-of-magnitude regressions —
+/// counters above, not seconds, are the precise guards).
+const MAIN_WALL_CEILING: Duration = Duration::from_secs(45);
+
+/// Wall-time sanity at 1 and 4 threads, plus the scaling guard: t4 must
+/// not be meaningfully *slower* than t1. (This container is single-CPU,
+/// so parallel runs cannot win wall-clock; what the guard catches is
+/// coordination overhead — the per-level spawn/barrier cost that once
+/// made threads=2 slower than threads=1 before small levels were gated
+/// sequential by estimated work.) Medians of three runs absorb the
+/// box's timing noise; the slack term absorbs the rest.
+#[test]
+fn main_analysis_wall_time_within_bounds_and_scales() {
+    let w = workloads::dacapo::workload("luindex", 2);
+    let median = |threads: usize| -> Duration {
+        let mut times: Vec<Duration> = (0..3)
+            .map(|_| {
+                AnalysisConfig::new(CallSiteSensitive::new(2), AllocSiteAbstraction)
+                    .threads(threads)
+                    .budget(Budget::seconds(120))
+                    .run(&w.program)
+                    .expect("luindex@2 under 2cs fits a 120s budget")
+                    .stats()
+                    .elapsed
+            })
+            .collect();
+        times.sort();
+        times[1]
+    };
+    let t1 = median(1);
+    let t4 = median(4);
+    assert!(
+        t1 <= MAIN_WALL_CEILING,
+        "threads=1 wall time {t1:?} blew past the {MAIN_WALL_CEILING:?} ceiling"
+    );
+    assert!(
+        t4 <= MAIN_WALL_CEILING,
+        "threads=4 wall time {t4:?} blew past the {MAIN_WALL_CEILING:?} ceiling"
+    );
+    assert!(
+        t4.as_secs_f64() <= t1.as_secs_f64() * 1.5 + 0.5,
+        "threads=4 ({t4:?}) is meaningfully slower than threads=1 ({t1:?}); \
+         parallel coordination overhead regressed"
     );
 }
 
