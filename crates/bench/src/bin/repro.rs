@@ -36,8 +36,26 @@
 //! prints a one-line progress pulse (wave round, worklist pops, live
 //! set words) to stderr every `SECS` seconds so multi-minute runs are
 //! not silent.
+//!
+//! # Snapshots and serving
+//!
+//! The serving pipeline (see `SERVING.md`) bypasses `--exp`:
+//!
+//! ```text
+//! repro --programs luindex --scale 2 --save-snapshot luindex.mjsn
+//! repro --load-snapshot luindex.mjsn --serve-bench
+//! ```
+//!
+//! `--save-snapshot PATH` runs one configuration (`--analysis`,
+//! `--heap`) on the first `--programs` entry and persists the result
+//! as a versioned, checksummed binary snapshot. `--load-snapshot
+//! PATH` warm-starts from it — no analysis — and both paths print the
+//! canonical result fingerprint, so save→load equivalence is a string
+//! comparison. `--serve-bench` then drives the concurrent query
+//! benchmark (`bench::serve`) and writes `BENCH_serve.json`
+//! (`--serve-json PATH` overrides; no-clobber unless `--force`).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bench::cli::{self, CommonOpts, RecordHeader};
 use bench::{fmt_count, fmt_time};
@@ -71,7 +89,22 @@ repro options:
   --programs a,b,c     restrict to a comma-separated program list
   --profile            write the solver-introspection profile
                        (PROFILE_pta.json next to the bench record)
-  --profile-json PATH  profile destination (implies --profile)";
+  --profile-json PATH  profile destination (implies --profile)
+
+serving options (bypass --exp; see SERVING.md):
+  --analysis NAME      sensitivity for --save-snapshot / fresh serving:
+                       ci, Kcs, Kobj, Ktype (default: 2obj)
+  --heap NAME          heap abstraction: alloc, alloc-type, mahjong
+                       (default: mahjong)
+  --save-snapshot PATH analyze the first --programs entry, save the
+                       result as a binary snapshot
+  --load-snapshot PATH warm-start from a snapshot instead of analyzing
+  --serve-bench        run the concurrent query benchmark
+  --serve-queries N    total queries in the mix (default: 200000)
+  --serve-batch N      queries per batch claim (default: 256)
+  --serve-seed N       query-mix seed (default: 659918)
+  --serve-json PATH    serve record target (default: BENCH_serve.json;
+                       no-clobber unless --force)";
 
 #[derive(Debug)]
 struct Args {
@@ -83,6 +116,15 @@ struct Args {
     programs: Vec<String>,
     profile: bool,
     profile_json: Option<String>,
+    analysis: String,
+    heap: String,
+    save_snapshot: Option<String>,
+    load_snapshot: Option<String>,
+    serve_bench: bool,
+    serve_queries: u64,
+    serve_batch: u64,
+    serve_seed: u64,
+    serve_json: Option<String>,
     common: CommonOpts,
 }
 
@@ -92,6 +134,15 @@ fn parse_args() -> Args {
     let mut budget = 60;
     let mut profile = false;
     let mut profile_json = None;
+    let mut analysis = "2obj".to_owned();
+    let mut heap = "mahjong".to_owned();
+    let mut save_snapshot = None;
+    let mut load_snapshot = None;
+    let mut serve_bench = false;
+    let mut serve_queries = 200_000;
+    let mut serve_batch = 256;
+    let mut serve_seed = 0xA11CE;
+    let mut serve_json = None;
     let mut common = CommonOpts::default();
     let mut programs: Vec<String> = workloads::dacapo::PROGRAMS
         .iter()
@@ -128,6 +179,40 @@ fn parse_args() -> Args {
                 profile_json = args.next();
                 profile = true;
             }
+            "--analysis" => {
+                analysis = args.next().unwrap_or(analysis);
+            }
+            "--heap" => {
+                heap = args.next().unwrap_or(heap);
+            }
+            "--save-snapshot" => {
+                save_snapshot = args.next();
+            }
+            "--load-snapshot" => {
+                load_snapshot = args.next();
+            }
+            "--serve-bench" => serve_bench = true,
+            "--serve-queries" => {
+                serve_queries = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(serve_queries);
+            }
+            "--serve-batch" => {
+                serve_batch = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(serve_batch);
+            }
+            "--serve-seed" => {
+                serve_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(serve_seed);
+            }
+            "--serve-json" => {
+                serve_json = args.next();
+            }
             "--help" | "-h" => {
                 println!("{USAGE}\n\n{}", CommonOpts::HELP);
                 std::process::exit(0);
@@ -146,6 +231,15 @@ fn parse_args() -> Args {
         programs,
         profile,
         profile_json,
+        analysis,
+        heap,
+        save_snapshot,
+        load_snapshot,
+        serve_bench,
+        serve_queries,
+        serve_batch,
+        serve_seed,
+        serve_json,
         common,
     }
 }
@@ -157,6 +251,10 @@ fn main() {
     args.common.check_bench_target("repro");
     args.common.start_heartbeat("repro");
     let budget = Budget::seconds(args.budget);
+    if args.save_snapshot.is_some() || args.load_snapshot.is_some() || args.serve_bench {
+        serve_pipeline(&args, budget);
+        return;
+    }
     match args.exp.as_str() {
         "table2" => table2(&args, budget),
         "fig8" => fig8(&args),
@@ -185,6 +283,175 @@ fn main() {
         cli::write_or_die("repro", &path, &profile_json(&args));
         eprintln!("repro: wrote {path}");
     }
+}
+
+// --- Snapshots and query serving ------------------------------------------------
+
+/// `--analysis` names: `ci` or `<k><cs|obj|type>` (e.g. `2obj`, `3type`).
+fn parse_analysis(name: &str) -> Option<bench::Sensitivity> {
+    if name == "ci" {
+        return Some(bench::Sensitivity::Ci);
+    }
+    for (suffix, ctor) in [
+        ("cs", bench::Sensitivity::Cs as fn(usize) -> _),
+        ("obj", bench::Sensitivity::Obj as fn(usize) -> _),
+        ("type", bench::Sensitivity::Type as fn(usize) -> _),
+    ] {
+        if let Some(k) = name.strip_suffix(suffix) {
+            return k.parse().ok().filter(|&k| k > 0).map(ctor);
+        }
+    }
+    None
+}
+
+/// `--heap` names, returned with the canonical spelling recorded in
+/// snapshot metadata and bench records.
+fn parse_heap(name: &str) -> Option<(bench::HeapKind, &'static str)> {
+    match name {
+        "alloc" | "alloc-site" => Some((bench::HeapKind::AllocSite, "alloc-site")),
+        "alloc-type" => Some((bench::HeapKind::AllocType, "alloc-type")),
+        "mahjong" => Some((bench::HeapKind::Mahjong, "mahjong")),
+        _ => None,
+    }
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// The `--save-snapshot` / `--load-snapshot` / `--serve-bench`
+/// pipeline: obtain a queryable result (fresh analysis or snapshot
+/// warm-start), optionally persist it, optionally benchmark it. Both
+/// sources print the canonical fingerprint, so `save → load` parity is
+/// checkable by comparing two lines of output.
+fn serve_pipeline(args: &Args, budget: Budget) {
+    use bench::serve;
+
+    let sensitivity = parse_analysis(&args.analysis)
+        .unwrap_or_else(|| die(format!("unknown --analysis `{}` (ci, Kcs, Kobj, Ktype)", args.analysis)));
+    let (heap_kind, heap_name) = parse_heap(&args.heap)
+        .unwrap_or_else(|| die(format!("unknown --heap `{}` (alloc, alloc-type, mahjong)", args.heap)));
+
+    let (program, result, meta, warm_start_ms, source) = if let Some(path) = &args.load_snapshot {
+        // Warm start: everything (including the program name, scale,
+        // and configuration labels) comes from the snapshot.
+        let start = Instant::now();
+        let snap = snapshot::load(std::path::Path::new(path))
+            .unwrap_or_else(|e| die(format!("cannot load snapshot {path}: {e}")));
+        let meta = snap.meta.clone();
+        if !workloads::dacapo::PROGRAMS.contains(&meta.program.as_str()) {
+            die(format!(
+                "snapshot {path} names unknown program `{}` (known: {})",
+                meta.program,
+                workloads::dacapo::PROGRAMS.join(", ")
+            ));
+        }
+        let program = workloads::dacapo::workload(&meta.program, meta.scale as usize).program;
+        let result = pta::snapshot::restore(snap.raw)
+            .unwrap_or_else(|e| die(format!("snapshot {path} fails validation: {e}")));
+        let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "repro: warm start from {path}: {} @ scale {} ({}, {}) in {warm_ms:.1} ms",
+            meta.program, meta.scale, meta.analysis, meta.heap
+        );
+        (program, result, meta, warm_ms, "snapshot")
+    } else {
+        // Fresh start: run the requested configuration on the first
+        // `--programs` entry, then optionally persist it.
+        let name = args
+            .programs
+            .first()
+            .unwrap_or_else(|| die("--programs is empty".to_owned()));
+        let start = Instant::now();
+        let prepared = bench::prepare(name, args.scale, &MahjongConfig::default());
+        let result = bench::run_for_result(
+            &prepared.program,
+            sensitivity,
+            heap_kind,
+            &prepared.mahjong.mom,
+            budget,
+            args.threads,
+        )
+        .unwrap_or_else(|_| {
+            die(format!("{name} ({}) exceeded the {}s budget", args.analysis, args.budget))
+        });
+        let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+        let meta = snapshot::Meta {
+            program: name.clone(),
+            scale: args.scale as u32,
+            analysis: sensitivity.name(),
+            heap: heap_name.to_owned(),
+            threads: args.threads as u32,
+        };
+        if let Some(path) = &args.save_snapshot {
+            use pta::HeapAbstraction;
+            let mom = match heap_kind {
+                bench::HeapKind::Mahjong => Some(
+                    (0..prepared.mahjong.mom.len())
+                        .map(|i| prepared.mahjong.mom.repr(jir::AllocId::from_usize(i)).as_u32())
+                        .collect(),
+                ),
+                _ => None,
+            };
+            let snap = snapshot::Snapshot {
+                meta: meta.clone(),
+                raw: pta::snapshot::extract(&result),
+                mom,
+            };
+            let bytes = snapshot::save(std::path::Path::new(path), &snap)
+                .unwrap_or_else(|e| die(format!("cannot save snapshot {path}: {e}")));
+            println!("repro: wrote snapshot {path} ({bytes} bytes)");
+        }
+        (prepared.program, result, meta, warm_ms, "fresh")
+    };
+
+    let fingerprint = serve::canonical_fingerprint(&program, &result);
+    println!("repro: fingerprint {fingerprint:#018x}");
+
+    if !args.serve_bench {
+        return;
+    }
+    let opts = serve::ServeOpts {
+        threads: args.threads,
+        queries: args.serve_queries,
+        batch: args.serve_batch.max(1),
+        seed: args.serve_seed,
+    };
+    let report = serve::run_bench(&program, &result, opts);
+    println!(
+        "## Serve bench — {} @ scale {} ({}, {}), {} threads",
+        meta.program, meta.scale, meta.analysis, meta.heap, opts.threads
+    );
+    println!();
+    println!(
+        "{} queries in {:.3} s — {:.0} qps (warm start {:.1} ms, source {source})",
+        opts.queries, report.wall_secs, report.qps, warm_start_ms
+    );
+    println!();
+    println!("| class | count | p50 | p99 |");
+    println!("|---|---|---|---|");
+    for (name, s) in &report.classes {
+        println!("| {name} | {} | {} ns | {} ns |", s.count, s.p50_ns, s.p99_ns);
+    }
+    println!();
+
+    let header = serve::ServeHeader {
+        program: meta.program.clone(),
+        scale: meta.scale as usize,
+        analysis: meta.analysis.clone(),
+        heap: meta.heap.clone(),
+        source: source.to_owned(),
+        warm_start_ms,
+        fingerprint,
+    };
+    let target = args
+        .serve_json
+        .clone()
+        .unwrap_or_else(|| "BENCH_serve.json".to_owned());
+    cli::refuse_clobber("repro", &target, args.common.force);
+    cli::write_or_die("repro", &target, &serve::render_json(&header, &report));
+    eprintln!("repro: wrote {target}");
 }
 
 /// `PROFILE_pta.json` lands next to the benchmark record (or in the

@@ -198,7 +198,10 @@ pub struct RecordHeader {
     pub threads: usize,
 }
 
-fn refuse_clobber(bin: &str, bench: &str, force: bool) {
+/// Exits with status 1 if `bench` already exists and `force` is off —
+/// benchmark records are committed artifacts and never silently
+/// replaced.
+pub fn refuse_clobber(bin: &str, bench: &str, force: bool) {
     if !force && std::path::Path::new(bench).exists() {
         eprintln!("{bin}: refusing to overwrite {bench} (pass --force to replace it)");
         std::process::exit(1);

@@ -188,6 +188,60 @@ fn run_with_heap<H: HeapAbstraction>(
     }
 }
 
+/// Like [`run_configuration`], but hands back the [`AnalysisResult`]
+/// itself instead of summarized metrics — the entry point for callers
+/// that keep the result alive (snapshot save, query serving).
+pub fn run_for_result(
+    program: &Program,
+    sensitivity: Sensitivity,
+    heap: HeapKind,
+    mom: &MergedObjectMap,
+    budget: Budget,
+    threads: usize,
+) -> Result<AnalysisResult, pta::Unscalable> {
+    match heap {
+        HeapKind::AllocSite => {
+            result_with_heap(program, sensitivity, AllocSiteAbstraction, budget, threads)
+        }
+        HeapKind::AllocType => result_with_heap(
+            program,
+            sensitivity,
+            AllocTypeAbstraction::new(program),
+            budget,
+            threads,
+        ),
+        HeapKind::Mahjong => result_with_heap(program, sensitivity, mom.clone(), budget, threads),
+    }
+}
+
+fn result_with_heap<H: HeapAbstraction>(
+    program: &Program,
+    sensitivity: Sensitivity,
+    heap: H,
+    budget: Budget,
+    threads: usize,
+) -> Result<AnalysisResult, pta::Unscalable> {
+    let _phase = obs::span("main_analysis");
+    match sensitivity {
+        Sensitivity::Ci => AnalysisConfig::new(ContextInsensitive, heap)
+            .budget(budget)
+            .threads(threads)
+            .run(program),
+        Sensitivity::Cs(k) => AnalysisConfig::new(CallSiteSensitive::new(k), heap)
+            .budget(budget)
+            .threads(threads)
+            .run(program),
+        Sensitivity::Obj(k) => AnalysisConfig::new(ObjectSensitive::new(k), heap)
+            .budget(budget)
+            .threads(threads)
+            .run(program),
+        Sensitivity::Type(k) => AnalysisConfig::new(TypeSensitive::new(k), heap)
+            .budget(budget)
+            .threads(threads)
+            .run(program),
+    }
+}
+
 /// The pre-analysis products every experiment starts from.
 #[derive(Debug)]
 pub struct Prepared {
@@ -585,6 +639,7 @@ pub fn alias_tradeoff(name: &str, scale: usize, budget: Budget) -> AliasTradeoff
 }
 
 pub mod cli;
+pub mod serve;
 
 // --- Micro-bench harness ----------------------------------------------------------
 

@@ -89,6 +89,24 @@ impl ContextArena {
         CtxId(0)
     }
 
+    /// Rebuilds an arena from its element table, `ctxs[i]` being the
+    /// elements of `CtxId(i)` (snapshot restore). The caller must pass
+    /// the table of a previously built arena: entry 0 empty, entries
+    /// distinct. Violations return an error instead of corrupting the
+    /// hash-consing map.
+    pub(crate) fn from_raw(ctxs: Vec<Vec<CtxElem>>) -> Result<Self, String> {
+        if ctxs.first().map(Vec::as_slice) != Some(&[]) {
+            return Err("context 0 is not the empty context".to_owned());
+        }
+        let mut map = FastMap::default();
+        for (i, elems) in ctxs.iter().enumerate() {
+            if map.insert(elems.clone(), CtxId(i as u32)).is_some() {
+                return Err(format!("duplicate context at index {i}"));
+            }
+        }
+        Ok(ContextArena { ctxs, map })
+    }
+
     /// Interns a context, returning its id.
     pub fn intern(&mut self, elems: Vec<CtxElem>) -> CtxId {
         if let Some(&id) = self.map.get(&elems) {

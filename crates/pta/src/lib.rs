@@ -58,6 +58,7 @@ pub mod naive;
 pub mod numbering;
 mod object;
 mod result;
+pub mod snapshot;
 mod solver;
 pub mod util;
 

@@ -122,6 +122,49 @@ impl ObjTable {
         id
     }
 
+    /// Rebuilds a table from per-slot rows in discovery order plus the
+    /// id-space bound (snapshot restore). The restored table is a
+    /// read-only view: it carries no [`ObjNumbering`] allocator, so it
+    /// answers every query but cannot intern new objects under the
+    /// hierarchy layout (`intern` of a known `(hctx, alloc)` pair still
+    /// works; an unknown pair would fall back to dense ids). Rejects
+    /// ids outside `id_space`, duplicate ids, and duplicate
+    /// `(hctx, alloc)` pairs.
+    pub(crate) fn from_slots(
+        rows: Vec<(ObjId, CtxId, AllocId, TypeId)>,
+        id_space: usize,
+    ) -> Result<Self, String> {
+        let mut table = ObjTable {
+            slot_of: vec![NO_SLOT; id_space],
+            ..Self::default()
+        };
+        for (slot, (id, hctx, alloc, ty)) in rows.into_iter().enumerate() {
+            if id.index() >= id_space {
+                return Err(format!("object id {id:?} outside id space {id_space}"));
+            }
+            if table.slot_of[id.index()] != NO_SLOT {
+                return Err(format!("object id {id:?} assigned twice"));
+            }
+            if table.map.insert((hctx, alloc), id).is_some() {
+                return Err(format!("object ({hctx:?}, {alloc:?}) interned twice"));
+            }
+            table.slot_of[id.index()] = slot as u32;
+            table.ids.push(id);
+            table.hctxs.push(hctx);
+            table.allocs.push(alloc);
+            table.types.push(ty);
+        }
+        Ok(table)
+    }
+
+    /// Whether `raw` names an id this table actually handed out (ids
+    /// inside hierarchy lane/chunk slack do not; snapshot restore uses
+    /// this to validate decoded set elements before any query can
+    /// reach [`ObjTable::slot`]).
+    pub(crate) fn has_id(&self, raw: u32) -> bool {
+        (raw as usize) < self.slot_of.len() && self.slot_of[raw as usize] != NO_SLOT
+    }
+
     fn slot(&self, obj: ObjId) -> usize {
         let s = self.slot_of[obj.index()];
         debug_assert_ne!(s, NO_SLOT, "id {obj:?} was never handed out");

@@ -30,7 +30,7 @@ static EMPTY_PTS: PtsSet<ObjId> = PtsSet::new();
 /// the process-global [`obs`] registry under `pta.*` names, where they
 /// aggregate across runs and travel with the JSON-Lines/Chrome-trace
 /// exports.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct AnalysisStats {
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
@@ -147,32 +147,32 @@ impl AnalysisStats {
 /// The immutable result of a points-to analysis run.
 #[derive(Debug)]
 pub struct AnalysisResult {
-    arena: ContextArena,
-    objs: ObjTable,
-    ptr_keys: Vec<PtrKey>,
-    ptr_map: FastMap<PtrKey, PtrId>,
-    pts: Vec<PtsHandle<ObjId>>,
+    pub(crate) arena: ContextArena,
+    pub(crate) objs: ObjTable,
+    pub(crate) ptr_keys: Vec<PtrKey>,
+    pub(crate) ptr_map: FastMap<PtrKey, PtrId>,
+    pub(crate) pts: Vec<PtsHandle<ObjId>>,
     /// Cycle-collapse redirect table: `pts[redirect[i]]` is pointer
     /// `i`'s points-to set (collapsed pointers hand their state to a
     /// representative; members of an unfiltered copy cycle converge to
     /// identical sets at fixpoint, so the redirection is invisible in
     /// query results).
-    redirect: Vec<u32>,
+    pub(crate) redirect: Vec<u32>,
     /// Context-collapsed points-to set per variable, built eagerly at
     /// result assembly and sealed against the solver's interner so
     /// variables with identical collapsed sets share one allocation.
     /// Single-pointer variables just share their row's handle.
-    collapsed: FastMap<VarId, PtsHandle<ObjId>>,
-    reachable: FastSet<(CtxId, MethodId)>,
-    reachable_methods: FastSet<MethodId>,
-    cg_edges: FastSet<(CallSiteId, MethodId)>,
-    cs_cg_edge_count: usize,
-    stats: AnalysisStats,
+    pub(crate) collapsed: FastMap<VarId, PtsHandle<ObjId>>,
+    pub(crate) reachable: FastSet<(CtxId, MethodId)>,
+    pub(crate) reachable_methods: FastSet<MethodId>,
+    pub(crate) cg_edges: FastSet<(CallSiteId, MethodId)>,
+    pub(crate) cs_cg_edge_count: usize,
+    pub(crate) stats: AnalysisStats,
     /// Contexts each method is analyzed under.
-    method_ctxs: FastMap<MethodId, Vec<CtxId>>,
+    pub(crate) method_ctxs: FastMap<MethodId, Vec<CtxId>>,
     /// Sorted, deduplicated targets per call site (precomputed so
     /// `call_targets` is an O(1) borrow instead of an edge scan).
-    site_targets: FastMap<CallSiteId, Vec<MethodId>>,
+    pub(crate) site_targets: FastMap<CallSiteId, Vec<MethodId>>,
 }
 
 impl AnalysisResult {

@@ -4,9 +4,12 @@
 # parallel-propagate scaling story is reproducible from checked-in
 # tooling rather than ad-hoc runs.
 #
-#   scripts/bench_matrix.sh                 # threads 1 2 4 8 into bench_matrix/
-#   THREADS="1 2" scripts/bench_matrix.sh   # custom sweep
+#   scripts/bench_matrix.sh                   # threads 1 2 4 8 into bench_matrix/
+#   scripts/bench_matrix.sh --threads "1 2"   # custom sweep (flag form)
+#   THREADS="1 2" scripts/bench_matrix.sh     # custom sweep (env form)
 #   EXP=table2 SCALE=4 BUDGET=600 OUT=bench_matrix scripts/bench_matrix.sh
+#
+# The --threads flag takes precedence over the THREADS env var.
 #
 # Each point writes BENCH_pta_tN.json (+ the BENCH_mahjong_pta_tN.json
 # sibling) into $OUT; the final table renders via
@@ -22,6 +25,31 @@ SCALE="${SCALE:-4}"
 BUDGET="${BUDGET:-900}"
 THREADS="${THREADS:-1 2 4 8}"
 OUT="${OUT:-bench_matrix}"
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --threads)
+            [ $# -ge 2 ] || { echo "bench_matrix: --threads needs a list (e.g. \"1 2 4\")" >&2; exit 2; }
+            THREADS="$2"
+            shift 2
+            ;;
+        --help|-h)
+            sed -n '2,/^set -euo/p' "$0" | sed '$d' | sed 's/^# \{0,1\}//'
+            exit 0
+            ;;
+        *)
+            echo "bench_matrix: unknown argument \`$1\` (only --threads LIST)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+case "$THREADS" in
+    *[!0-9\ ]*|"")
+        echo "bench_matrix: threads list \`$THREADS\` must be space-separated numbers" >&2
+        exit 2
+        ;;
+esac
 
 cargo build --release -p bench >/dev/null
 REPRO=target/release/repro

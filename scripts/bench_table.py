@@ -37,6 +37,8 @@ from pathlib import Path
 ROOT = Path(__file__).resolve().parent.parent
 BEGIN = "<!-- bench-table:begin -->"
 END = "<!-- bench-table:end -->"
+SERVE_BEGIN = "<!-- serve-table:begin -->"
+SERVE_END = "<!-- serve-table:end -->"
 
 # (column header, json key, formatter)
 COLUMNS = [
@@ -104,6 +106,8 @@ def render(root: Path) -> str:
     for path in sorted(root.glob("BENCH_*.json"), key=sort_key):
         if path.stem.startswith("BENCH_mahjong"):
             continue  # siblings join their solver record below
+        if path.stem == "BENCH_serve":
+            continue  # the serving record has its own table
         try:
             record = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError) as e:
@@ -187,6 +191,85 @@ RANGE_KEYS = [
 
 MAHJONG_KEYS = [("dfa_built",), ("sig_buckets",), ("hk_runs",), ("canon_ns",)]
 
+# The serving record (BENCH_serve.json, written by `repro
+# --serve-bench`; schema documented in SERVING.md). One record, five
+# per-class latency entries.
+SERVE_CLASSES = ["points_to", "may_alias", "call_targets", "cast_check", "not_found"]
+SERVE_KEYS = [
+    ("exp",), ("program",), ("scale",), ("analysis",), ("heap",), ("source",),
+    ("threads",), ("queries",), ("batch",), ("seed",), ("warm_start_ms",),
+    ("fingerprint",), ("wall_secs",), ("qps",), ("checksum",),
+] + [
+    ("classes", c, k)
+    for c in SERVE_CLASSES
+    for k in ("count", "p50_ns", "p99_ns")
+]
+
+
+def render_serve(root: Path):
+    """The serving table from BENCH_serve.json, or None when absent."""
+    path = root / "BENCH_serve.json"
+    if not path.exists():
+        return None
+    try:
+        rec = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_table: skipping {path.name}: {e}", file=sys.stderr)
+        return None
+    lines = [
+        "Serving: `{program}@{scale}` ({analysis}, {heap}), {threads} threads, "
+        "{queries:,} queries from a {source} start — "
+        "**{qps:,.0f} qps**, warm start {warm_start_ms:.1f} ms.".format(
+            program=rec.get("program", "?"),
+            scale=rec.get("scale", "?"),
+            analysis=rec.get("analysis", "?"),
+            heap=rec.get("heap", "?"),
+            threads=rec.get("threads", "?"),
+            queries=rec.get("queries", 0),
+            source=rec.get("source", "?"),
+            qps=rec.get("qps", 0.0),
+            warm_start_ms=rec.get("warm_start_ms", 0.0),
+        ),
+        "",
+        "| query class | count | p50 (ns) | p99 (ns) |",
+        "|---|---:|---:|---:|",
+    ]
+    for c in SERVE_CLASSES:
+        stats = lookup(rec, ("classes", c)) or {}
+        lines.append(
+            "| `{}` | {:,} | {:,} | {:,} |".format(
+                c, stats.get("count", 0), stats.get("p50_ns", 0), stats.get("p99_ns", 0)
+            )
+        )
+    return "\n".join(lines)
+
+
+def check_serve(path: Path):
+    """Schema + self-consistency checks for a BENCH_serve.json record."""
+    problems = []
+    try:
+        rec = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path.name}: unreadable: {e}"]
+    for key in SERVE_KEYS:
+        if lookup(rec, key) is None:
+            problems.append(f"{path.name}: missing key {'.'.join(key)}")
+    if problems:
+        return problems
+    if rec["exp"] != "serve":
+        problems.append(f"{path.name}: exp is {rec['exp']!r}, expected 'serve'")
+    if rec["source"] not in ("snapshot", "fresh"):
+        problems.append(f"{path.name}: source {rec['source']!r} not snapshot/fresh")
+    for key in ("fingerprint", "checksum"):
+        value = rec[key]
+        if not (isinstance(value, str) and value.startswith("0x")):
+            problems.append(f"{path.name}: {key} must be a 0x-prefixed hex string")
+    total = sum(rec["classes"][c]["count"] for c in SERVE_CLASSES)
+    if total != rec["queries"]:
+        problems.append(
+            f"{path.name}: class counts sum to {total}, not queries={rec['queries']}")
+    return problems
+
 # Per-record keys in PROFILE_pta.json's "profile.records" entries.
 PROFILE_RECORD_KEYS = [
     "run", "wave", "level", "pops", "objects", "words",
@@ -205,7 +288,7 @@ def check(root: Path) -> int:
 
     bench_paths = [
         p for p in sorted(root.glob("BENCH_*.json"), key=sort_key)
-        if not p.stem.startswith("BENCH_mahjong")
+        if not p.stem.startswith("BENCH_mahjong") and p.stem != "BENCH_serve"
     ]
     if not bench_paths:
         problems.append(f"{root}: no BENCH_*.json solver records found")
@@ -240,10 +323,14 @@ def check(root: Path) -> int:
     if profile.exists():
         problems.extend(check_profile(profile))
 
+    serve = root / "BENCH_serve.json"
+    if serve.exists():
+        problems.extend(check_serve(serve))
+
     for p in problems:
         print(f"bench_table: CHECK FAIL: {p}", file=sys.stderr)
     if not problems:
-        n = len(bench_paths) + int(profile.exists())
+        n = len(bench_paths) + int(profile.exists()) + int(serve.exists())
         print(f"bench_table: check OK ({n} records)")
     return 1 if problems else 0
 
@@ -328,8 +415,12 @@ def main() -> int:
     if args.check:
         return check(args.dir)
     table = render(args.dir)
+    serve_table = render_serve(args.dir)
     if not args.update:
         print(table)
+        if serve_table:
+            print()
+            print(serve_table)
         return 0
     readme = ROOT / "README.md"
     text = readme.read_text()
@@ -338,7 +429,12 @@ def main() -> int:
         return 1
     head, rest = text.split(BEGIN, 1)
     _, tail = rest.split(END, 1)
-    readme.write_text(f"{head}{BEGIN}\n{table}\n{END}{tail}")
+    text = f"{head}{BEGIN}\n{table}\n{END}{tail}"
+    if serve_table and SERVE_BEGIN in text and SERVE_END in text:
+        head, rest = text.split(SERVE_BEGIN, 1)
+        _, tail = rest.split(SERVE_END, 1)
+        text = f"{head}{SERVE_BEGIN}\n{serve_table}\n{SERVE_END}{tail}"
+    readme.write_text(text)
     print(f"bench_table: updated {readme}")
     return 0
 

@@ -15,7 +15,10 @@
 # `repro --profile` on a
 # small two-thread workload and asserts the timeline parses, carries
 # per-level records, and attributes ≥90% of the solver wall clock; the
-# schema check validates every committed BENCH/PROFILE record.
+# schema check validates every committed BENCH/PROFILE record. The
+# serving smoke saves a luindex@2 snapshot, warm-starts `repro
+# --serve-bench` from it, and requires the save/load fingerprints to
+# match bit for bit (see SERVING.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -56,6 +59,38 @@ if wall > 0.05 and prof["records_dropped"] == 0:
     assert covered >= 0.9 * wall, f"timeline covers {covered:.2f}s of {wall:.2f}s wall"
 print(f"tier1: profile smoke ok ({len(records)} records, "
       f"{covered:.2f}s/{wall:.2f}s attributed)")
+EOF
+
+# Serving smoke (SERVING.md): analyze luindex@2 once and save the
+# snapshot, then warm-start a serve bench from it. The canonical
+# fingerprint printed on the save and load sides must match bit for
+# bit — a snapshot is a perfect stand-in for the analysis — and the
+# serve record must be self-consistent.
+serve_snap="$scratch/luindex.mjsn"
+serve_json="$scratch/BENCH_serve.json"
+save_out="$(cargo run --release -q -p bench --bin repro -- \
+    --programs luindex --scale 2 --threads 2 --save-snapshot "$serve_snap")"
+load_out="$(cargo run --release -q -p bench --bin repro -- \
+    --load-snapshot "$serve_snap" --serve-bench --serve-queries 20000 \
+    --threads 2 --serve-json "$serve_json")"
+save_fp="$(grep -o 'fingerprint 0x[0-9a-f]*' <<<"$save_out")"
+load_fp="$(grep -o 'fingerprint 0x[0-9a-f]*' <<<"$load_out")"
+if [ -z "$save_fp" ] || [ "$save_fp" != "$load_fp" ]; then
+    echo "tier1: snapshot fingerprint mismatch (save: ${save_fp:-none}," \
+         "load: ${load_fp:-none})" >&2
+    exit 1
+fi
+python3 - "$serve_json" <<'EOF'
+import json, sys
+
+rec = json.load(open(sys.argv[1]))
+assert rec["exp"] == "serve" and rec["source"] == "snapshot", rec
+classes = ["points_to", "may_alias", "call_targets", "cast_check", "not_found"]
+total = sum(rec["classes"][c]["count"] for c in classes)
+assert total == rec["queries"], f"class counts {total} != queries {rec['queries']}"
+assert rec["qps"] > 0 and rec["warm_start_ms"] > 0, rec
+print(f"tier1: serve smoke ok ({rec['qps']:.0f} qps, "
+      f"warm start {rec['warm_start_ms']:.1f} ms)")
 EOF
 
 python3 scripts/bench_table.py --check

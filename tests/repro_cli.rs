@@ -183,3 +183,110 @@ fn bench_json_never_clobbers_without_force() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The full serving pipeline: `--save-snapshot` persists a warm-start
+/// image, `--load-snapshot --serve-bench` answers the query mix from
+/// it, the fingerprints printed on the two sides match, and the serve
+/// record carries the schema `scripts/bench_table.py --check` pins.
+#[test]
+fn snapshot_save_load_serve_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("repro_snap_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("figure1-like.mjsn");
+    let record = dir.join("BENCH_serve.json");
+
+    let out = repro()
+        .args(["--programs", "luindex", "--scale", "1", "--save-snapshot", snap.to_str().unwrap()])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let saved = String::from_utf8_lossy(&out.stdout).to_string();
+    let fp_of = |text: &str| {
+        text.lines()
+            .find_map(|l| l.strip_prefix("repro: fingerprint "))
+            .map(str::to_owned)
+            .unwrap_or_else(|| panic!("no fingerprint line in:\n{text}"))
+    };
+    let saved_fp = fp_of(&saved);
+
+    let out = repro()
+        .args([
+            "--load-snapshot",
+            snap.to_str().unwrap(),
+            "--serve-bench",
+            "--serve-queries",
+            "5000",
+            "--serve-json",
+            record.to_str().unwrap(),
+        ])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let loaded = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(saved_fp, fp_of(&loaded), "save → load changed the result fingerprint");
+
+    let text = std::fs::read_to_string(&record).expect("serve record written");
+    let doc = obs::json::parse(&text).expect("serve record parses");
+    assert_eq!(doc.get("exp").unwrap().as_str(), Some("serve"));
+    assert_eq!(doc.get("source").unwrap().as_str(), Some("snapshot"));
+    assert_eq!(doc.get("queries").unwrap().as_u64(), Some(5000));
+    assert_eq!(doc.get("fingerprint").unwrap().as_str(), Some(saved_fp.as_str()));
+    let classes = doc.get("classes").expect("classes present");
+    for class in ["points_to", "may_alias", "call_targets", "cast_check", "not_found"] {
+        let c = classes.get(class).unwrap_or_else(|| panic!("no class {class}"));
+        assert!(c.get("count").unwrap().as_u64().is_some());
+        assert!(c.get("p50_ns").unwrap().as_u64().is_some());
+        assert!(c.get("p99_ns").unwrap().as_u64().is_some());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A corrupted snapshot is refused with a diagnostic — exit code 2 and
+/// a checksum complaint, never a panic backtrace.
+#[test]
+fn corrupted_snapshot_is_refused_not_panicked() {
+    let dir = std::env::temp_dir().join(format!("repro_corrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("lu.mjsn");
+
+    let out = repro()
+        .args(["--programs", "luindex", "--scale", "1", "--save-snapshot", snap.to_str().unwrap()])
+        .output()
+        .expect("repro runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Flip one byte in the middle of the file.
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let out = repro()
+        .args(["--load-snapshot", snap.to_str().unwrap()])
+        .output()
+        .expect("repro runs");
+    assert!(!out.status.success(), "corrupted snapshot must be refused");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load snapshot"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr shows a panic: {stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Serving options reject nonsense configurations up front.
+#[test]
+fn unknown_analysis_and_heap_names_fail() {
+    for (flag, value, hint) in [
+        ("--analysis", "4fun", "unknown --analysis"),
+        ("--heap", "cloud", "unknown --heap"),
+    ] {
+        let out = repro()
+            .args(["--programs", "luindex", "--scale", "1", "--serve-bench", flag, value])
+            .output()
+            .expect("repro runs");
+        assert!(!out.status.success(), "{flag} {value} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(hint), "stderr: {stderr}");
+    }
+}
